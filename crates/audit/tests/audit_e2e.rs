@@ -1,0 +1,323 @@
+//! End-to-end audit scenarios: a real cluster produces ledgers and
+//! receipts; the auditor either finds them consistent or produces a uPoM
+//! blaming at least f + 1 replicas — including when **all** replicas
+//! collude (§4.1).
+
+use std::sync::Arc;
+
+use ia_ccf_audit::{
+    AuditOutcome, Auditor, Enforcer, LedgerPackage, StoredReceipt, Upom, UpomKind,
+};
+use ia_ccf_core::app::CounterApp;
+use ia_ccf_core::byzantine::TamperedApp;
+use ia_ccf_core::ProtocolParams;
+use ia_ccf_governance::chain::GovernanceChain;
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::receipt::testutil::make_tx_receipts;
+use ia_ccf_types::{
+    ClientId, Digest, LedgerEntry, LedgerIdx, ProcId, ReplicaId, Request, RequestAction, SeqNum,
+    SignedRequest, TxResult, View,
+};
+
+fn spec(n: usize) -> ClusterSpec {
+    ClusterSpec::new(n, 1, ProtocolParams::default())
+}
+
+/// Run `tx_count` increments on an honest (or tampered) cluster and return
+/// the cluster plus the stored receipts.
+fn run_cluster(
+    spec: &ClusterSpec,
+    app_for: impl FnMut(usize) -> Arc<dyn ia_ccf_core::App>,
+    tx_count: usize,
+) -> (DetCluster, Vec<StoredReceipt>) {
+    let mut cluster = DetCluster::with_apps(spec, app_for);
+    let client = spec.clients[0].0;
+    for i in 0..tx_count {
+        let proc =
+            if i % 3 == 2 { CounterApp::READ } else { CounterApp::INCR };
+        cluster.submit(client, proc, b"acct".to_vec());
+        cluster.round();
+    }
+    assert!(
+        cluster.run_until_finished(tx_count, 400),
+        "only {}/{} finished",
+        cluster.finished.len(),
+        tx_count
+    );
+    let receipts = cluster
+        .finished
+        .iter()
+        .map(|(_, tx)| StoredReceipt {
+            request: tx.request.clone(),
+            receipt: tx.receipt.clone().expect("receipts enabled"),
+        })
+        .collect();
+    (cluster, receipts)
+}
+
+#[test]
+fn honest_cluster_audits_clean() {
+    let s = spec(4);
+    let counter: Arc<dyn ia_ccf_core::App> = Arc::new(CounterApp);
+    let (cluster, receipts) = run_cluster(&s, |_| Arc::clone(&counter), 12);
+    let replica = cluster.replica(ReplicaId(1));
+    let package = LedgerPackage::from_replica(replica, SeqNum(0));
+    let auditor = Auditor::new(s.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
+    assert!(matches!(outcome, AuditOutcome::Clean), "{:?}", outcome.upom());
+}
+
+#[test]
+fn colluding_quorum_wrong_execution_is_caught_by_replay() {
+    // ALL FOUR replicas run tampered logic: reads of "acct" claim 999.
+    // The protocol runs "correctly" over the lie, clients hold valid
+    // receipts — only replay against the honest app exposes it (§4.1).
+    let s = spec(4);
+    let make_tampered = || -> Arc<dyn ia_ccf_core::App> {
+        Arc::new(TamperedApp::new(Arc::new(CounterApp), |proc, args, _| {
+            (proc == CounterApp::READ && args == b"acct")
+                .then(|| 999u64.to_le_bytes().to_vec())
+        }))
+    };
+    let (cluster, receipts) = run_cluster(&s, |_| make_tampered(), 12);
+    // The client accepted the forged read — receipts all verified.
+    let forged = receipts
+        .iter()
+        .find(|r| {
+            matches!(&r.request.request.action, RequestAction::App { proc, .. }
+                if *proc == CounterApp::READ)
+        })
+        .expect("a read receipt");
+    assert!(forged.receipt.verify(&s.genesis).is_ok());
+
+    let replica = cluster.replica(ReplicaId(0));
+    let package = LedgerPackage::from_replica(replica, SeqNum(0));
+    let auditor = Auditor::new(s.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
+    let upom = outcome.upom().expect("violation found").clone();
+    assert_eq!(upom.kind, UpomKind::WrongExecution);
+    assert!(
+        upom.blamed.len() >= s.genesis.f() + 1,
+        "blamed {:?}, need ≥ f+1 = {}",
+        upom.blamed,
+        s.genesis.f() + 1
+    );
+
+    // The enforcer re-verifies the uPoM and punishes the operators.
+    let mut enforcer = Enforcer::new();
+    let sanctions = enforcer
+        .process_upom(
+            &upom,
+            &receipts,
+            &GovernanceChain::new(),
+            &package,
+            &s.genesis,
+            Arc::new(CounterApp),
+            &s.genesis,
+        )
+        .expect("uPoM verifies");
+    assert!(sanctions.len() >= s.genesis.f() + 1);
+}
+
+#[test]
+fn bogus_upom_is_rejected_by_enforcer() {
+    let s = spec(4);
+    let counter: Arc<dyn ia_ccf_core::App> = Arc::new(CounterApp);
+    let (cluster, receipts) = run_cluster(&s, |_| Arc::clone(&counter), 6);
+    let package = LedgerPackage::from_replica(cluster.replica(ReplicaId(0)), SeqNum(0));
+    let fake = Upom {
+        kind: UpomKind::WrongExecution,
+        blamed: [ReplicaId(0), ReplicaId(1)].into_iter().collect(),
+        at_seq: SeqNum(1),
+        details: "fabricated".into(),
+        receipts: vec![],
+    };
+    let mut enforcer = Enforcer::new();
+    let err = enforcer
+        .process_upom(
+            &fake,
+            &receipts,
+            &GovernanceChain::new(),
+            &package,
+            &s.genesis,
+            Arc::new(CounterApp),
+            &s.genesis,
+        )
+        .unwrap_err();
+    assert!(err.contains("clean"), "{err}");
+    assert!(enforcer.sanctions.is_empty());
+}
+
+#[test]
+fn tampered_ledger_fragment_is_not_well_formed() {
+    let s = spec(4);
+    let counter: Arc<dyn ia_ccf_core::App> = Arc::new(CounterApp);
+    let (cluster, receipts) = run_cluster(&s, |_| Arc::clone(&counter), 8);
+    let mut package = LedgerPackage::from_replica(cluster.replica(ReplicaId(0)), SeqNum(0));
+    // A misbehaving replica rewrites a result in its served copy.
+    let target = package
+        .entries
+        .iter()
+        .position(|e| matches!(e, LedgerEntry::Tx(tx) if !tx.result.output.is_empty()))
+        .expect("some tx entry");
+    if let LedgerEntry::Tx(tx) = &mut package.entries[target] {
+        tx.result.output[0] ^= 0xFF;
+    }
+    let auditor = Auditor::new(s.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
+    let upom = outcome.upom().expect("violation");
+    // The forged entry breaks Ḡ against the signed pre-prepare.
+    assert_eq!(upom.kind, UpomKind::BadPackage);
+}
+
+#[test]
+fn receipt_contradicting_ledger_blames_intersection() {
+    // Replicas sign a *different* batch for a sequence number that the
+    // ledger also contains — signed contradictory statements (case i of
+    // Lemma 5).
+    let s = spec(4);
+    let counter: Arc<dyn ia_ccf_core::App> = Arc::new(CounterApp);
+    let (cluster, receipts) = run_cluster(&s, |_| Arc::clone(&counter), 10);
+    let package = LedgerPackage::from_replica(cluster.replica(ReplicaId(0)), SeqNum(0));
+
+    // Forge: the same replica keys certify a phantom transaction at an
+    // existing sequence number (pick one with in-ledger evidence).
+    let target_seq = SeqNum(3);
+    let client_kp = &s.clients[0].1;
+    let phantom_req = SignedRequest::sign(
+        Request {
+            action: RequestAction::App { proc: CounterApp::INCR, args: b"phantom".to_vec() },
+            client: s.clients[0].0,
+            gt_hash: cluster.replica(ReplicaId(0)).gt_hash(),
+            min_index: LedgerIdx(0),
+            req_id: 777,
+        },
+        client_kp,
+    );
+    let phantom_result = TxResult {
+        ok: true,
+        output: 1u64.to_le_bytes().to_vec(),
+        write_set_digest: Digest::zero(),
+    };
+    let forged = make_tx_receipts(
+        &s.genesis,
+        &s.replica_keys,
+        View(0),
+        target_seq,
+        ia_ccf_crypto::hash_bytes(b"fake-root-m"),
+        LedgerIdx(0),
+        Digest::zero(),
+        &[(phantom_req.digest(), LedgerIdx(2), phantom_result)],
+    )
+    .remove(0);
+
+    let mut stored: Vec<StoredReceipt> = receipts;
+    stored.push(StoredReceipt { request: phantom_req, receipt: forged });
+
+    let auditor = Auditor::new(s.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&stored, &GovernanceChain::new(), &package);
+    let upom = outcome.upom().expect("violation");
+    assert_eq!(upom.kind, UpomKind::ReceiptContradictsLedger);
+    assert!(upom.blamed.len() >= s.genesis.f() + 1, "blamed: {:?}", upom.blamed);
+}
+
+#[test]
+fn min_index_violation_blames_signers() {
+    // Misbehaving replicas execute a request below its min_index — the
+    // real-time-ordering violation of Thm. 2. We forge the (valid,
+    // replica-signed) receipt directly.
+    let s = spec(4);
+    let client_kp = &s.clients[0].1;
+    let req = SignedRequest::sign(
+        Request {
+            action: RequestAction::App { proc: CounterApp::INCR, args: b"x".to_vec() },
+            client: s.clients[0].0,
+            gt_hash: ia_ccf_crypto::hash_bytes(b"any-service"),
+            min_index: LedgerIdx(50), // must execute at index ≥ 50
+            req_id: 1,
+        },
+        client_kp,
+    );
+    let result =
+        TxResult { ok: true, output: vec![], write_set_digest: Digest::zero() };
+    let receipt = make_tx_receipts(
+        &s.genesis,
+        &s.replica_keys,
+        View(0),
+        SeqNum(2),
+        ia_ccf_crypto::hash_bytes(b"m"),
+        LedgerIdx(0),
+        Digest::zero(),
+        &[(req.digest(), LedgerIdx(7), result)], // executed at 7 < 50
+    )
+    .remove(0);
+
+    let stored = vec![StoredReceipt { request: req, receipt }];
+    let auditor = Auditor::new(s.genesis.clone(), Arc::new(CounterApp));
+    // The package is irrelevant: the violation is receipt-internal.
+    let package = LedgerPackage {
+        entries: vec![LedgerEntry::Genesis { config: s.genesis.clone() }],
+        checkpoint: None,
+    };
+    let outcome = auditor.audit(&stored, &GovernanceChain::new(), &package);
+    let upom = outcome.upom().expect("violation");
+    assert_eq!(upom.kind, UpomKind::MinIndexViolation);
+    assert_eq!(upom.blamed.len(), s.genesis.quorum());
+}
+
+#[test]
+fn audit_from_checkpoint_is_bounded_and_clean() {
+    // Enough traffic to cross two checkpoint intervals, then audit only
+    // the recent receipts starting from the checkpoint (§4.1: the enforcer
+    // replays at most the transactions between two checkpoints).
+    let s = spec(4).with_config(|c| c.checkpoint_interval = 6);
+    let counter: Arc<dyn ia_ccf_core::App> = Arc::new(CounterApp);
+    let (cluster, receipts) = run_cluster(&s, |_| Arc::clone(&counter), 30);
+    // Keep only receipts whose penultimate checkpoint is still retained by
+    // the replicas (the freshest group): those are the ones a real client
+    // would audit soon after the fact.
+    let retained = cluster.replica(ReplicaId(2)).checkpoints().seqs();
+    let scp_of = |seq| {
+        ia_ccf_core::checkpoint::receipt_checkpoint_seq(seq, s.genesis.checkpoint_interval)
+    };
+    let max_scp = receipts
+        .iter()
+        .map(|r| scp_of(r.receipt.seq()))
+        .filter(|scp| scp.0 > 0 && retained.contains(scp))
+        .max()
+        .expect("some receipt references a retained checkpoint");
+    let late: Vec<StoredReceipt> = receipts
+        .into_iter()
+        .filter(|r| scp_of(r.receipt.seq()) == max_scp)
+        .collect();
+    assert!(!late.is_empty(), "need receipts referencing checkpoint {max_scp}");
+    let scp = max_scp;
+    let package = LedgerPackage::from_replica(cluster.replica(ReplicaId(2)), scp);
+    assert!(package.checkpoint.is_some(), "replica retains the checkpoint");
+    let auditor = Auditor::new(s.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&late, &GovernanceChain::new(), &package);
+    assert!(matches!(outcome, AuditOutcome::Clean), "{:?}", outcome.upom());
+}
+
+#[test]
+fn unknown_client_receipt_fails_verification() {
+    let s = spec(4);
+    let counter: Arc<dyn ia_ccf_core::App> = Arc::new(CounterApp);
+    let (cluster, mut receipts) = run_cluster(&s, |_| Arc::clone(&counter), 4);
+    // Corrupt a receipt: swap its witness result.
+    if let ia_ccf_types::ReceiptBody::Tx(w) = &mut receipts[0].receipt.body {
+        w.result.output = b"changed".to_vec();
+    }
+    let package = LedgerPackage::from_replica(cluster.replica(ReplicaId(0)), SeqNum(0));
+    let auditor = Auditor::new(s.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
+    assert_eq!(outcome.upom().expect("violation").kind, UpomKind::InvalidReceipt);
+}
+
+#[test]
+fn designated_client_id_zero_not_used() {
+    // Regression guard: ClientId(0) is reserved for system transactions.
+    let s = spec(4);
+    assert!(s.clients.iter().all(|(id, _)| *id != ClientId(0)));
+    let _ = ProcId(0);
+}

@@ -1,0 +1,55 @@
+//! Comparison baselines (§6).
+//!
+//! * [`hotstuff`] — a chained HotStuff implementation (the consensus core
+//!   of Diem): leader proposes blocks carrying a quorum certificate for
+//!   the parent; a block commits when a three-chain forms. Clients get
+//!   results after ~4.5 network round trips versus IA-CCF's 2 (Tab. 2).
+//!   Our QCs are signature vectors rather than threshold signatures — the
+//!   paper notes threshold crypto *prevents* blame assignment, which is
+//!   rather the point of IA-CCF.
+//! * [`fabric`] — an execute-order-validate pipeline in the style of
+//!   Hyperledger Fabric v2.2 (crash-fault-tolerant ordering only):
+//!   endorsers sign **per transaction**, validators verify **per
+//!   transaction** — the two properties the paper identifies behind
+//!   Fabric's throughput (§6.1).
+//! * [`pompe`] — a Pompē-style variant: request ordering (timestamp
+//!   collection) is separated from consensus, raising throughput at the
+//!   cost of extra round trips (Tab. 3: higher throughput than HotStuff,
+//!   worse latency than IA-CCF).
+//!
+//! The IA-CCF-PeerReview baseline is not here: it is the real IA-CCF
+//! replica with `ProtocolParams::peer_review()` (every message signed and
+//! acked, per-transaction reply signatures).
+
+pub mod fabric;
+pub mod hotstuff;
+pub mod pompe;
+
+pub use fabric::run_fabric;
+pub use hotstuff::run_hotstuff;
+pub use pompe::run_pompe;
+
+use std::time::Duration;
+
+/// A baseline run's results, mirroring the IA-CCF harness report.
+#[derive(Debug)]
+pub struct BaselineReport {
+    /// Transactions committed/executed over the run (leader-side).
+    pub committed_tx: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Client latencies (µs), sorted on demand.
+    pub latency: ia_ccf_sim::Histogram,
+    /// Client completions.
+    pub finished_ops: u64,
+}
+
+impl BaselineReport {
+    /// Throughput in tx/s.
+    pub fn tx_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.committed_tx as f64 / self.elapsed.as_secs_f64()
+    }
+}

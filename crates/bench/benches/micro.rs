@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks for the primitives the paper's numbers rest
+//! on: receipt verification (§6.3), Merkle operations (§3.1), the nonce
+//! commitment scheme (Lemma 3), signatures vs MACs (Tab. 3 row f), and
+//! key-value store access vs size (Fig. 7's cause).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ia_ccf_crypto::{hash_bytes, KeyPair, Nonce};
+use ia_ccf_kv::KvStore;
+use ia_ccf_merkle::MerkleTree;
+use ia_ccf_types::config::testutil::test_config;
+use ia_ccf_types::receipt::testutil::make_tx_receipts;
+use ia_ccf_types::{Digest, LedgerIdx, SeqNum, TxResult, View};
+
+fn receipt(n: usize, batch: usize) -> (ia_ccf_types::Configuration, ia_ccf_types::Receipt) {
+    let (config, replica_keys, _) = test_config(n);
+    let entries: Vec<(Digest, LedgerIdx, TxResult)> = (0..batch)
+        .map(|i| {
+            (
+                hash_bytes(format!("t{i}").as_bytes()),
+                LedgerIdx(i as u64),
+                TxResult { ok: true, output: vec![0], write_set_digest: Digest::zero() },
+            )
+        })
+        .collect();
+    let mut receipts = make_tx_receipts(
+        &config,
+        &replica_keys,
+        View(0),
+        SeqNum(5),
+        hash_bytes(b"m"),
+        LedgerIdx(0),
+        Digest::zero(),
+        &entries,
+    );
+    (config, receipts.swap_remove(batch / 2))
+}
+
+fn bench_receipts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("receipt_verify");
+    for &(n, f) in &[(4usize, 1u32), (10, 3)] {
+        let (config, r) = receipt(n, 300);
+        group.bench_with_input(BenchmarkId::new("full", format!("f{f}")), &f, |b, _| {
+            b.iter(|| r.verify(&config).expect("valid"))
+        });
+    }
+    for &batch in &[300usize, 800] {
+        let (_, r) = receipt(4, batch);
+        group.bench_with_input(BenchmarkId::new("merkle_path", batch), &batch, |b, _| {
+            b.iter(|| r.implied_root_g().expect("path"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    group.bench_function("append_10k", |b| {
+        let leaves: Vec<Digest> = (0..10_000u32).map(|i| hash_bytes(&i.to_le_bytes())).collect();
+        b.iter(|| {
+            let mut t = MerkleTree::new();
+            for l in &leaves {
+                t.append(*l);
+            }
+            t.root()
+        })
+    });
+    let big = MerkleTree::from_leaves((0..100_000u32).map(|i| hash_bytes(&i.to_le_bytes())));
+    group.bench_function("path_100k", |b| b.iter(|| big.path(54_321).expect("path")));
+    group.bench_function("root_100k", |b| b.iter(|| big.root()));
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let kp = KeyPair::from_label("bench");
+    let msg = vec![0u8; 256];
+    let sig = kp.sign(&msg);
+    group.bench_function("ed25519_sign", |b| b.iter(|| kp.sign(&msg)));
+    group.bench_function("ed25519_verify", |b| b.iter(|| kp.public().verify(&msg, &sig)));
+    let nonce = Nonce([7; 16]);
+    let commitment = nonce.commitment();
+    group.bench_function("nonce_commit_open", |b| b.iter(|| commitment.opens_with(&nonce)));
+    group.finish();
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv");
+    for &size in &[1_000u64, 100_000] {
+        let mut kv = KvStore::new();
+        ia_ccf_smallbank::populate(&mut kv, size, 1000);
+        group.bench_with_input(BenchmarkId::new("get", size), &size, |b, _| {
+            let key = ia_ccf_smallbank::account_key(size / 2);
+            b.iter(|| kv.get(&key).cloned())
+        });
+        group.bench_with_input(BenchmarkId::new("digest", size), &size, |b, _| {
+            b.iter(|| kv.digest())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_receipts, bench_merkle, bench_crypto, bench_kv
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Shared plumbing for the benchmark binaries.
+//!
+//! Every table/figure of the paper has a binary in `src/bin/` that prints
+//! the same rows/series the paper reports and writes JSON to
+//! `target/experiments/<name>.json`. Environment knobs:
+//!
+//! * `IACCF_BENCH_SECS` — seconds per measured point (default 2);
+//! * `IACCF_ACCOUNTS` — SmallBank accounts (default 10 000; the paper uses
+//!   500 000 — larger values mostly slow the O(n) checkpoint digests);
+//! * `IACCF_MAX_N` — cap on replica counts swept by fig5 (default 16).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ia_ccf_sim::rt::{run_cluster, RtConfig, RtReport};
+use ia_ccf_sim::ClusterSpec;
+use parking_lot_stub::Mutex;
+
+/// Tiny mutex shim so the bench crate doesn't need parking_lot directly.
+mod parking_lot_stub {
+    pub use std::sync::Mutex;
+}
+
+/// Seconds per measured point.
+pub fn bench_secs() -> u64 {
+    std::env::var("IACCF_BENCH_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+}
+
+/// SmallBank account count.
+pub fn accounts() -> u64 {
+    std::env::var("IACCF_ACCOUNTS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000)
+}
+
+/// Largest replica count for scalability sweeps.
+pub fn max_n() -> usize {
+    std::env::var("IACCF_MAX_N").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+}
+
+/// A SmallBank op source shared across client threads (per-client RNG
+/// streams derived from the client index).
+pub fn smallbank_ops(
+    accounts: u64,
+) -> Arc<dyn Fn(usize) -> (ia_ccf_types::ProcId, Vec<u8>) + Send + Sync> {
+    let workloads: Vec<Mutex<ia_ccf_smallbank::Workload>> =
+        (0..64).map(|i| Mutex::new(ia_ccf_smallbank::Workload::new(accounts, 1000 + i))).collect();
+    Arc::new(move |ci| {
+        let op = workloads[ci % workloads.len()].lock().expect("workload lock").next_op();
+        (op.proc, op.args)
+    })
+}
+
+/// An empty-request op source (Tab. 3 row (h)).
+pub fn noop_ops() -> Arc<dyn Fn(usize) -> (ia_ccf_types::ProcId, Vec<u8>) + Send + Sync> {
+    Arc::new(|_| (ia_ccf_smallbank::NOOP, Vec::new()))
+}
+
+/// Run IA-CCF under SmallBank and return the report.
+pub fn run_iaccf_smallbank(
+    spec: &ClusterSpec,
+    cfg: &RtConfig,
+    account_count: u64,
+) -> RtReport {
+    let app = Arc::new(ia_ccf_smallbank::SmallBankApp);
+    run_cluster(spec, app, cfg, smallbank_ops(account_count), |kv| {
+        ia_ccf_smallbank::populate(kv, account_count, 10_000);
+    })
+}
+
+/// One output row: label plus metric pairs, printable and JSON-able.
+#[derive(serde::Serialize)]
+pub struct Row {
+    /// Row label (system/variant/parameter).
+    pub label: String,
+    /// `(metric name, value)` pairs.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(label: impl Into<String>, metrics: &[(&str, f64)]) -> Self {
+        Row {
+            label: label.into(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+}
+
+/// Print rows as an aligned table and persist them as JSON under
+/// `target/experiments/<name>.json`.
+pub fn emit(name: &str, title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    for row in rows {
+        let cells: Vec<String> =
+            row.metrics.iter().map(|(k, v)| format!("{k}={v:.1}")).collect();
+        println!("{:40} {}", row.label, cells.join("  "));
+    }
+    let dir = std::path::Path::new("target/experiments");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(rows) {
+        let _ = std::fs::write(&path, json);
+        println!("[written {}]", path.display());
+    }
+}
+
+/// Default measured duration.
+pub fn duration() -> Duration {
+    Duration::from_secs(bench_secs())
+}

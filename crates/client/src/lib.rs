@@ -1,0 +1,501 @@
+//! The IA-CCF client (§2 ❸, §3.3, §5.2).
+//!
+//! A client signs requests, sends them to all replicas, and waits for
+//! `N − f` matching `reply` messages plus the `replyx` from the designated
+//! replica. From these it assembles a [`Receipt`] — the pre-prepare core,
+//! the primary's signature, the backups' prepare signatures, the revealed
+//! nonces, and the Merkle path — and verifies it (Alg. 3) under the
+//! configuration determined by its cached **governance receipt chain**.
+//! Clients never hold the ledger; the chain (genesis + governance receipts
+//! + `P`-th end-of-configuration receipts) is all they need to know the
+//! valid signing keys at any governance index.
+//!
+//! Like the replica, the client is sans-io: feed messages with
+//! [`Client::on_message`], drain sends with [`Client::poll_send`], collect
+//! finished transactions with [`Client::take_completed`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use ia_ccf_governance::chain::{ConfigHistory, GovLink, GovernanceChain};
+use ia_ccf_types::{
+    BatchCertificate, ClientId, Configuration, Digest, KeyPair, LedgerIdx, ProcId, ProtocolMsg,
+    Receipt, ReceiptBody, Reply, ReplyX, ReplicaBitmap, ReplicaId, Request, RequestAction,
+    SeqNum, SignedRequest, TxWitness, View,
+};
+
+/// A transaction whose receipt has been assembled and verified.
+#[derive(Debug, Clone)]
+pub struct FinishedTx {
+    /// The original signed request.
+    pub request: SignedRequest,
+    /// Client-chosen request number.
+    pub req_id: u64,
+    /// The verified receipt (`None` only in `require_receipt = false`
+    /// mode, the IA-CCF-NoReceipt baseline).
+    pub receipt: Option<Receipt>,
+    /// The execution output.
+    pub output: Vec<u8>,
+    /// Whether the stored procedure succeeded.
+    pub ok: bool,
+    /// Tick the request was first sent (for latency measurement).
+    pub sent_tick: u64,
+    /// Tick the receipt completed.
+    pub done_tick: u64,
+}
+
+/// An in-flight request.
+#[derive(Debug)]
+struct PendingReq {
+    request: SignedRequest,
+    digest: Digest,
+    /// Replies keyed by (view, seq) then replica.
+    replies: BTreeMap<(View, SeqNum), BTreeMap<ReplicaId, Reply>>,
+    replyx: Option<ReplyX>,
+    sent_tick: u64,
+    last_action_tick: u64,
+    refetch_attempts: u32,
+}
+
+/// Where a client wants a message delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientSend {
+    /// To one replica.
+    To(ReplicaId, ProtocolMsg),
+    /// To every replica in the client's current configuration view.
+    Broadcast(ProtocolMsg),
+}
+
+/// The sans-io IA-CCF client.
+pub struct Client {
+    id: ClientId,
+    keypair: KeyPair,
+    gt_hash: Digest,
+    genesis: Configuration,
+    chain: GovernanceChain,
+    history: ConfigHistory,
+    /// Highest governance index covered by the verified chain.
+    verified_gov_index: LedgerIdx,
+    next_req_id: u64,
+    /// Largest ledger index seen in a receipt (`M_i`); requests carry
+    /// `min_index = M_i + 1` to encode real-time ordering (§B.1).
+    max_seen_index: u64,
+    pending: HashMap<u64, PendingReq>,
+    /// Completions stalled on missing governance receipts.
+    waiting_for_gov: Vec<u64>,
+    completed: Vec<FinishedTx>,
+    outbox: Vec<ClientSend>,
+    tick: u64,
+    /// Ticks before a pending request is retried.
+    pub retry_ticks: u64,
+    /// When `false` (the IA-CCF-NoReceipt baseline), complete on a quorum
+    /// of matching replies without assembling a receipt.
+    pub require_receipt: bool,
+}
+
+impl Client {
+    /// A client for the service whose genesis configuration is `genesis`.
+    pub fn new(id: ClientId, keypair: KeyPair, gt_hash: Digest, genesis: Configuration) -> Self {
+        let chain = GovernanceChain::new();
+        let history = chain.verify(&genesis).expect("empty chain verifies");
+        Client {
+            id,
+            keypair,
+            gt_hash,
+            genesis,
+            chain,
+            history,
+            verified_gov_index: LedgerIdx(0),
+            next_req_id: 1,
+            max_seen_index: 0,
+            pending: HashMap::new(),
+            waiting_for_gov: Vec::new(),
+            completed: Vec::new(),
+            outbox: Vec::new(),
+            tick: 0,
+            retry_ticks: 50,
+            require_receipt: true,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The client's public key (to provision replicas with).
+    pub fn public_key(&self) -> ia_ccf_types::PublicKey {
+        self.keypair.public()
+    }
+
+    /// The configuration the client currently believes is active.
+    pub fn current_config(&self) -> &Configuration {
+        self.history.latest()
+    }
+
+    /// Number of in-flight requests.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Largest ledger index learned from receipts.
+    pub fn max_seen_index(&self) -> u64 {
+        self.max_seen_index
+    }
+
+    /// The verified governance chain (receipts the client caches, §5.2).
+    pub fn gov_chain(&self) -> &GovernanceChain {
+        &self.chain
+    }
+
+    /// Build, record and queue a request invoking `proc` with `args`.
+    /// Returns the request id.
+    pub fn submit(&mut self, proc: ProcId, args: Vec<u8>) -> u64 {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        let request = SignedRequest::sign(
+            Request {
+                action: RequestAction::App { proc, args },
+                client: self.id,
+                gt_hash: self.gt_hash,
+                min_index: LedgerIdx(self.max_seen_index + 1),
+                req_id,
+            },
+            &self.keypair,
+        );
+        let digest = request.digest();
+        self.pending.insert(
+            req_id,
+            PendingReq {
+                request: request.clone(),
+                digest,
+                replies: BTreeMap::new(),
+                replyx: None,
+                sent_tick: self.tick,
+                last_action_tick: self.tick,
+                refetch_attempts: 0,
+            },
+        );
+        self.outbox.push(ClientSend::Broadcast(ProtocolMsg::Request(request)));
+        req_id
+    }
+
+    /// Feed a message from `from`.
+    pub fn on_message(&mut self, from: ReplicaId, msg: ProtocolMsg) {
+        match msg {
+            ProtocolMsg::Reply(reply) => self.on_reply(from, reply),
+            ProtocolMsg::ReplyX(rx) => self.on_replyx(rx),
+            ProtocolMsg::GovReceipts { receipts } => self.on_gov_receipts(receipts),
+            _ => {}
+        }
+    }
+
+    /// Advance the client clock; retries stale requests.
+    pub fn on_tick(&mut self) {
+        self.tick += 1;
+        let mut to_retry = Vec::new();
+        for (req_id, p) in &self.pending {
+            if self.tick.saturating_sub(p.last_action_tick) >= self.retry_ticks {
+                to_retry.push(*req_id);
+            }
+        }
+        for req_id in to_retry {
+            self.retry(req_id);
+        }
+    }
+
+    /// Drain queued sends.
+    pub fn poll_send(&mut self) -> Vec<ClientSend> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drain completed transactions.
+    pub fn take_completed(&mut self) -> Vec<FinishedTx> {
+        std::mem::take(&mut self.completed)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn retry(&mut self, req_id: u64) {
+        let config_n = self.current_config().n() as u32;
+        let Some(p) = self.pending.get_mut(&req_id) else {
+            return;
+        };
+        p.last_action_tick = self.tick;
+        p.refetch_attempts += 1;
+        // Retransmit the request and ask a rotating replica for the
+        // receipt parts (§3.3: "selects a different replica to send back
+        // replyx").
+        self.outbox.push(ClientSend::Broadcast(ProtocolMsg::Request(p.request.clone())));
+        let target = ReplicaId(p.refetch_attempts % config_n);
+        let digest = p.digest;
+        self.outbox.push(ClientSend::To(target, ProtocolMsg::FetchReceipt { tx_hash: digest }));
+    }
+
+    fn on_reply(&mut self, from: ReplicaId, reply: Reply) {
+        if reply.replica != from {
+            return; // authenticated channel: ignore impersonations
+        }
+        let key = (reply.view, reply.seq);
+        let mut touched = Vec::new();
+        for req_id in &reply.req_ids {
+            if let Some(p) = self.pending.get_mut(req_id) {
+                p.replies.entry(key).or_default().insert(reply.replica, reply.clone());
+                p.last_action_tick = self.tick;
+                touched.push(*req_id);
+            }
+        }
+        for req_id in touched {
+            self.try_complete(req_id);
+        }
+    }
+
+    fn on_replyx(&mut self, rx: ReplyX) {
+        let Some((req_id, _)) =
+            self.pending.iter().find(|(_, p)| p.digest == rx.tx_hash).map(|(k, p)| (*k, p.digest))
+        else {
+            return;
+        };
+        if let Some(p) = self.pending.get_mut(&req_id) {
+            p.replyx = Some(rx);
+            p.last_action_tick = self.tick;
+        }
+        self.try_complete(req_id);
+    }
+
+    fn on_gov_receipts(&mut self, receipts: Vec<(Option<SignedRequest>, Receipt)>) {
+        // Rebuild the chain from scratch if the incoming one is longer;
+        // re-verify from genesis (receipts are cheap to verify relative to
+        // fetch latency, and chains are small, §6.4).
+        if receipts.len() <= self.chain.len() {
+            return;
+        }
+        let mut chain = GovernanceChain::new();
+        for (request, receipt) in receipts {
+            match request {
+                Some(request) => chain.push(GovLink::GovTx { request, receipt }),
+                None => chain.push(GovLink::Boundary { receipt }),
+            }
+        }
+        match chain.verify(&self.genesis) {
+            Ok(history) => {
+                self.verified_gov_index = chain
+                    .links
+                    .iter()
+                    .filter_map(|l| match l {
+                        GovLink::GovTx { receipt, .. } => receipt.tx_index(),
+                        GovLink::Boundary { .. } => None,
+                    })
+                    .max()
+                    .unwrap_or(LedgerIdx(0));
+                self.chain = chain;
+                self.history = history;
+                // Unblock stalled completions.
+                let waiting = std::mem::take(&mut self.waiting_for_gov);
+                for req_id in waiting {
+                    self.try_complete(req_id);
+                }
+            }
+            Err(_) => {
+                // A replica served an invalid chain; ignore it. (An
+                // inconsistent chain pair would be fork evidence — the
+                // auditor handles that path.)
+            }
+        }
+    }
+
+    /// Attempt receipt assembly (§3.3 "Verifying receipts").
+    fn try_complete(&mut self, req_id: u64) {
+        let Some(p) = self.pending.get(&req_id) else {
+            return;
+        };
+        if !self.require_receipt {
+            // NoReceipt baseline: done on a quorum of matching replies.
+            let quorum = self.current_config().quorum();
+            if p.replies.values().any(|m| m.len() >= quorum) {
+                let p = self.pending.remove(&req_id).expect("checked");
+                self.completed.push(FinishedTx {
+                    request: p.request,
+                    req_id,
+                    output: Vec::new(),
+                    ok: true,
+                    receipt: None,
+                    sent_tick: p.sent_tick,
+                    done_tick: self.tick,
+                });
+            }
+            return;
+        }
+        let Some(rx) = &p.replyx else {
+            return;
+        };
+        // Do we have the governance receipts this receipt depends on?
+        if rx.core.gov_index > self.verified_gov_index {
+            if !self.waiting_for_gov.contains(&req_id) {
+                self.waiting_for_gov.push(req_id);
+            }
+            let target = self.current_config().replicas[0].id;
+            self.outbox.push(ClientSend::To(
+                target,
+                ProtocolMsg::FetchGovReceipts { from_index: self.verified_gov_index },
+            ));
+            return;
+        }
+        let config = self.history.config_for_gov_index(rx.core.gov_index).clone();
+        let key = (rx.core.view, rx.core.seq);
+        let Some(batch_replies) = p.replies.get(&key) else {
+            return;
+        };
+        let quorum = config.quorum();
+        let primary = config.primary_of(rx.core.view);
+        let Some(primary_reply) = batch_replies.get(&primary) else {
+            return;
+        };
+        if batch_replies.len() < quorum {
+            return;
+        }
+
+        // Assemble: primary + lowest-ranked backups to quorum, rank order.
+        let mut ranked: Vec<(usize, &Reply)> = batch_replies
+            .values()
+            .filter_map(|r| config.rank_of(r.replica).map(|rank| (rank, r)))
+            .collect();
+        ranked.sort_by_key(|(rank, _)| *rank);
+        let primary_rank = config.rank_of(primary).expect("primary in config");
+        let mut chosen: Vec<(usize, &Reply)> = vec![(primary_rank, primary_reply)];
+        for (rank, r) in &ranked {
+            if chosen.len() >= quorum {
+                break;
+            }
+            if *rank != primary_rank {
+                chosen.push((*rank, r));
+            }
+        }
+        if chosen.len() < quorum {
+            return;
+        }
+        chosen.sort_by_key(|(rank, _)| *rank);
+
+        let mut signers = ReplicaBitmap::empty();
+        let mut prepare_sigs = Vec::new();
+        let mut nonces = Vec::new();
+        for (rank, r) in &chosen {
+            signers.set(*rank);
+            nonces.push(r.nonce);
+            if *rank != primary_rank {
+                prepare_sigs.push(r.sig);
+            }
+        }
+        let receipt = Receipt {
+            cert: BatchCertificate {
+                core: rx.core.clone(),
+                primary_sig: rx.primary_sig,
+                signers,
+                prepare_sigs,
+                nonces,
+            },
+            body: ReceiptBody::Tx(TxWitness {
+                tx_hash: rx.tx_hash,
+                index: rx.index,
+                result: rx.result.clone(),
+                path: rx.path.clone(),
+            }),
+        };
+        if receipt.verify(&config).is_err() {
+            // Bad data from some replica: wait for more replies; retry will
+            // also re-fetch the replyx from a different replica.
+            return;
+        }
+
+        let index = rx.index.0;
+        let output = rx.result.output.clone();
+        let ok = rx.result.ok;
+        let p = self.pending.remove(&req_id).expect("checked");
+        self.max_seen_index = self.max_seen_index.max(index);
+        self.completed.push(FinishedTx {
+            request: p.request,
+            req_id,
+            output,
+            ok,
+            receipt: Some(receipt),
+            sent_tick: p.sent_tick,
+            done_tick: self.tick,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_ccf_types::config::testutil::test_config;
+
+    fn client() -> Client {
+        let (config, _, _) = test_config(4);
+        Client::new(
+            ClientId(7),
+            KeyPair::from_label("client-7"),
+            ia_ccf_crypto::hash_bytes(b"gt"),
+            config,
+        )
+    }
+
+    #[test]
+    fn submit_queues_broadcast_and_tracks_pending() {
+        let mut c = client();
+        let id = c.submit(ProcId(1), b"args".to_vec());
+        assert_eq!(id, 1);
+        assert_eq!(c.pending_count(), 1);
+        let sends = c.poll_send();
+        assert_eq!(sends.len(), 1);
+        assert!(matches!(&sends[0], ClientSend::Broadcast(ProtocolMsg::Request(r))
+            if r.request.req_id == 1));
+    }
+
+    #[test]
+    fn min_index_tracks_max_seen() {
+        let mut c = client();
+        c.max_seen_index = 41;
+        c.submit(ProcId(1), vec![]);
+        let sends = c.poll_send();
+        let ClientSend::Broadcast(ProtocolMsg::Request(r)) = &sends[0] else { panic!() };
+        assert_eq!(r.request.min_index, LedgerIdx(42));
+    }
+
+    #[test]
+    fn retry_after_timeout_refetches_receipt() {
+        let mut c = client();
+        c.retry_ticks = 3;
+        c.submit(ProcId(1), vec![]);
+        c.poll_send();
+        for _ in 0..3 {
+            c.on_tick();
+        }
+        let sends = c.poll_send();
+        assert_eq!(sends.len(), 2);
+        assert!(matches!(sends[0], ClientSend::Broadcast(ProtocolMsg::Request(_))));
+        assert!(matches!(sends[1], ClientSend::To(_, ProtocolMsg::FetchReceipt { .. })));
+    }
+
+    #[test]
+    fn incomplete_replies_do_not_complete() {
+        let mut c = client();
+        c.submit(ProcId(1), vec![]);
+        // A reply with no replyx can't complete anything.
+        c.on_message(
+            ReplicaId(0),
+            ProtocolMsg::Reply(Reply {
+                view: View(0),
+                seq: SeqNum(1),
+                replica: ReplicaId(0),
+                sig: ia_ccf_types::Signature::zero(),
+                nonce: ia_ccf_types::Nonce::default(),
+                req_ids: vec![1],
+            }),
+        );
+        assert!(c.take_completed().is_empty());
+        assert_eq!(c.pending_count(), 1);
+    }
+
+    // Full round trips (request → receipt) are covered by the simulator
+    // tests in `ia-ccf-sim` and the workspace integration tests, where a
+    // real cluster produces the replies.
+}

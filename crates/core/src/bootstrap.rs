@@ -1,0 +1,251 @@
+//! Bootstrapping a replica from a ledger (§3.4, §5.1).
+//!
+//! "A newly added replica first obtains the ledger and a recent checkpoint,
+//! and replays the ledger from that checkpoint." This module implements the
+//! replay: the joining replica validates the structural grammar, verifies
+//! every pre-prepare signature under the configuration of its sequence
+//! number, re-executes every batch and demands that its own Merkle roots
+//! reproduce the signed ones. Governance receipts for served chains are
+//! reconstructed from the in-ledger evidence entries.
+//!
+//! (We replay from genesis rather than from a checkpoint snapshot: the
+//! checkpoint fast-path is an optimization the paper uses for multi-GB
+//! ledgers; correctness-wise replay-from-genesis is the stronger check and
+//! our simulated ledgers are small. The auditor *does* implement
+//! checkpoint-based replay, §4.1, where it is load-bearing.)
+
+use std::sync::Arc;
+
+use ia_ccf_governance::chain::GovLink;
+use ia_ccf_ledger::segment::{segment_entries, Segment};
+use ia_ccf_types::{
+    BatchCertificate, ClientId, Configuration, LedgerEntry, PrePrepare, PublicKey, Receipt,
+    ReceiptBody, SeqNum, SignedRequest, TxWitness,
+};
+
+use crate::app::App;
+use crate::params::ProtocolParams;
+use crate::replica::Replica;
+
+/// Why a ledger could not be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootstrapError {
+    /// The ledger does not begin with a genesis entry.
+    NoGenesis,
+    /// The entry stream violates the structural grammar.
+    Malformed(String),
+    /// A pre-prepare signature failed under its configuration.
+    BadPrePrepareSig(SeqNum),
+    /// Our re-execution diverged from the signed roots at this batch.
+    ExecutionMismatch(SeqNum),
+    /// A recorded result differs from our re-execution.
+    ResultMismatch(SeqNum),
+}
+
+impl std::fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootstrapError::NoGenesis => write!(f, "ledger does not start with genesis"),
+            BootstrapError::Malformed(e) => write!(f, "malformed ledger: {e}"),
+            BootstrapError::BadPrePrepareSig(s) => write!(f, "bad pre-prepare signature at {s}"),
+            BootstrapError::ExecutionMismatch(s) => write!(f, "execution mismatch at {s}"),
+            BootstrapError::ResultMismatch(s) => write!(f, "result mismatch at {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}
+
+impl Replica {
+    /// Build a replica by replaying `entries` (a full ledger starting at
+    /// genesis) through the normal execution machinery.
+    pub fn bootstrap(
+        id: ia_ccf_types::ReplicaId,
+        keypair: ia_ccf_crypto::KeyPair,
+        app: Arc<dyn App>,
+        params: ProtocolParams,
+        client_keys: impl IntoIterator<Item = (ClientId, PublicKey)>,
+        entries: &[LedgerEntry],
+    ) -> Result<Replica, BootstrapError> {
+        let Some(LedgerEntry::Genesis { config }) = entries.first() else {
+            return Err(BootstrapError::NoGenesis);
+        };
+        let genesis: Configuration = config.clone();
+        let mut replica = Replica::new(id, keypair, genesis, app, params, client_keys);
+        replica.replay_entries(&entries[1..], 1)?;
+        Ok(replica)
+    }
+
+    /// Replay a stream of post-genesis entries into this replica.
+    pub(crate) fn replay_entries(
+        &mut self,
+        entries: &[LedgerEntry],
+        base: usize,
+    ) -> Result<(), BootstrapError> {
+        let segments = segment_entries(entries, base)
+            .map_err(|e| BootstrapError::Malformed(e.to_string()))?;
+        let mut max_seq = SeqNum(0);
+        let mut max_evidenced = SeqNum(0);
+
+        for seg in &segments {
+            match seg {
+                Segment::Genesis { .. } => {
+                    return Err(BootstrapError::Malformed("unexpected genesis".into()));
+                }
+                Segment::ViewChange { set_at, nv_at, view } => {
+                    self.ledger.append(entries[*set_at].clone());
+                    self.ledger.append(entries[*nv_at].clone());
+                    self.view = *view;
+                }
+                Segment::Batch { evidence_at, nonces_at, pp_at, tx_at, seq, view } => {
+                    let LedgerEntry::PrePrepare(pp) = &entries[*pp_at] else {
+                        unreachable!("segmenter guarantees");
+                    };
+                    let pp: PrePrepare = pp.clone();
+
+                    // Verify the primary's signature under the batch's
+                    // configuration.
+                    let config = self.config_for_seq(*seq).clone();
+                    let payload = PrePrepare::signing_payload(&pp.core, &pp.root_g);
+                    let ok = config
+                        .replica_key(pp.core.primary)
+                        .map(|k| k.verify(&payload, &pp.sig))
+                        .unwrap_or(false);
+                    if !ok || config.primary_of(*view) != pp.core.primary {
+                        return Err(BootstrapError::BadPrePrepareSig(*seq));
+                    }
+
+                    // Append evidence exactly as recorded.
+                    if let (Some(ev), Some(no)) = (evidence_at, nonces_at) {
+                        self.ledger.append(entries[*ev].clone());
+                        self.ledger.append(entries[*no].clone());
+                        max_evidenced = max_evidenced.max(pp.core.evidence_seq);
+                        self.reconstruct_gov_receipts_from_ledger(&pp, entries, *ev, *no);
+                    }
+                    if self.ledger.root_m() != pp.core.root_m {
+                        return Err(BootstrapError::ExecutionMismatch(*seq));
+                    }
+
+                    // Gather and re-execute the batch.
+                    let mut requests: Vec<SignedRequest> = Vec::with_capacity(tx_at.len());
+                    let mut recorded = Vec::with_capacity(tx_at.len());
+                    for &ti in tx_at {
+                        let LedgerEntry::Tx(tx) = &entries[ti] else {
+                            unreachable!("segmenter guarantees");
+                        };
+                        requests.push(tx.request.clone());
+                        recorded.push((tx.index, tx.result.clone()));
+                        self.req_store.insert(tx.request.digest(), tx.request.clone());
+                    }
+                    let exec = self
+                        .execute_batch(*seq, *view, pp.core.kind, &requests)
+                        .map_err(|_| BootstrapError::ExecutionMismatch(*seq))?;
+                    if exec.tree.root() != pp.root_g {
+                        return Err(BootstrapError::ExecutionMismatch(*seq));
+                    }
+                    for (et, (idx, res)) in exec.txs.iter().zip(&recorded) {
+                        if et.index != *idx || &et.result != res {
+                            return Err(BootstrapError::ResultMismatch(*seq));
+                        }
+                    }
+
+                    self.batch_ledger_pos.insert(*seq, self.ledger.len());
+                    self.ledger.append(LedgerEntry::PrePrepare(pp.clone()));
+                    for &ti in tx_at {
+                        self.ledger.append(entries[ti].clone());
+                    }
+                    for req in &requests {
+                        self.executed_reqs.insert(req.digest());
+                    }
+                    self.prepared_view.insert(*seq, *view);
+                    self.msgs.put_pp(pp.clone(), requests.iter().map(|r| r.digest()).collect());
+                    self.batch_exec.insert(*seq, exec);
+                    self.post_append_reconfig(*seq, pp.core.kind);
+                    max_seq = max_seq.max(*seq);
+                }
+            }
+        }
+
+        // Frontiers: everything replayed is prepared; batches with in-ledger
+        // evidence are committed. We did not participate, so we hold no
+        // nonces for these slots — the evidence-fetch path covers gaps.
+        self.prepared_up_to = max_seq;
+        self.committed_up_to = max_evidenced;
+        self.seq_next = max_seq.next();
+        self.kv.release_batches_up_to(max_evidenced.0);
+        Ok(())
+    }
+
+    /// Rebuild governance receipts for an evidenced batch from the ledger's
+    /// own evidence entries (used by joining replicas so they can serve the
+    /// governance chain, §5.2).
+    fn reconstruct_gov_receipts_from_ledger(
+        &mut self,
+        carrier_pp: &PrePrepare,
+        entries: &[LedgerEntry],
+        evidence_at: usize,
+        nonces_at: usize,
+    ) {
+        let target = carrier_pp.core.evidence_seq;
+        // Find the evidenced batch's pre-prepare and transactions in what
+        // we already replayed.
+        let Some(exec) = self.batch_exec.get(&target) else {
+            return;
+        };
+        let p = self.pipeline_depth() as u32;
+        let has_gov = exec.txs.iter().any(|t| t.is_governance);
+        let is_boundary =
+            matches!(exec.kind, ia_ccf_types::BatchKind::EndOfConfig { phase } if phase == p);
+        if !has_gov && !is_boundary {
+            return;
+        }
+        let Some(&view) = self.prepared_view.get(&target) else {
+            return;
+        };
+        let Some(slot) = self.msgs.slot(target, view) else {
+            return;
+        };
+        let Some((pp, _)) = slot.pp.clone() else {
+            return;
+        };
+        let (LedgerEntry::Evidence { prepares, .. }, LedgerEntry::Nonces { nonces, .. }) =
+            (&entries[evidence_at], &entries[nonces_at])
+        else {
+            return;
+        };
+        let cert = BatchCertificate {
+            core: pp.core.clone(),
+            primary_sig: pp.sig,
+            signers: carrier_pp.core.evidence_bitmap,
+            prepare_sigs: prepares.iter().map(|p| p.sig).collect(),
+            nonces: nonces.clone(),
+        };
+        let exec = exec.clone();
+        for (pos, et) in exec.txs.iter().enumerate() {
+            if !et.is_governance {
+                continue;
+            }
+            let Some(request) = self.req_store.get(&et.request_digest).cloned() else {
+                continue;
+            };
+            let receipt = Receipt {
+                cert: cert.clone(),
+                body: ReceiptBody::Tx(TxWitness {
+                    tx_hash: et.request_digest,
+                    index: et.index,
+                    result: et.result.clone(),
+                    path: exec.tree.path(pos as u64).expect("leaf exists"),
+                }),
+            };
+            self.gov_chain.push(GovLink::GovTx { request, receipt });
+        }
+        if is_boundary {
+            self.gov_chain.push(GovLink::Boundary {
+                receipt: Receipt {
+                    cert,
+                    body: ReceiptBody::Batch { root_g: ia_ccf_types::Digest::zero() },
+                },
+            });
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Byzantine behaviours for tests, audit demonstrations and benchmarks.
+//!
+//! Two classes of misbehaviour matter for IA-CCF:
+//!
+//! * **Message-level faults** ([`ByzantineReplica`]) — dropping or
+//!   corrupting outbound messages. These hurt liveness or individual
+//!   clients and are caught by receipt verification or timeouts.
+//! * **Coordinated wrong execution** ([`TamperedApp`]) — a quorum of
+//!   colluding replicas runs modified service logic, producing a valid-
+//!   looking ledger and receipts over wrong results. This is the §4.1
+//!   "invalid ledger" scenario that only *replaying* the ledger against
+//!   receipts can catch — the heart of the paper's accountability claim.
+//!
+//! Both are deliberately thin wrappers: a Byzantine node here is a correct
+//! node plus an adversarial delta, which keeps the honest code path
+//! untouched and the faults composable.
+
+use std::sync::Arc;
+
+use ia_ccf_kv::KvStore;
+use ia_ccf_types::{ClientId, ProcId, ProtocolMsg};
+
+use crate::app::{App, AppError};
+use crate::events::{Input, Output};
+use crate::replica::Replica;
+
+/// Message-level faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Behave correctly (control).
+    None,
+    /// Emit nothing — a crashed or silent replica.
+    Mute,
+    /// Suppress `replyx` messages: clients never receive the
+    /// result-carrying reply from this replica and must re-fetch from
+    /// another (§3.3 timeout path).
+    DropReplyX,
+    /// Corrupt the execution result inside outgoing `replyx` messages.
+    /// Receipt verification catches this: the forged leaf breaks the
+    /// recomputed `Ḡ` and the primary-signature check fails.
+    CorruptReplyX,
+}
+
+/// A replica wrapper that applies a [`Fault`] to the outputs of an
+/// otherwise-correct replica.
+pub struct ByzantineReplica {
+    /// The wrapped replica.
+    pub inner: Replica,
+    /// The active fault.
+    pub fault: Fault,
+}
+
+impl ByzantineReplica {
+    /// Wrap `inner` with `fault`.
+    pub fn new(inner: Replica, fault: Fault) -> Self {
+        ByzantineReplica { inner, fault }
+    }
+
+    /// Drive the wrapped replica and apply the fault to its outputs.
+    pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        let outs = self.inner.handle(input);
+        match self.fault {
+            Fault::None => outs,
+            Fault::Mute => outs
+                .into_iter()
+                .filter(|o| {
+                    !matches!(
+                        o,
+                        Output::SendReplica(..)
+                            | Output::BroadcastReplicas(..)
+                            | Output::SendClient(..)
+                    )
+                })
+                .collect(),
+            Fault::DropReplyX => outs
+                .into_iter()
+                .filter(|o| !matches!(o, Output::SendClient(_, ProtocolMsg::ReplyX(_))))
+                .collect(),
+            Fault::CorruptReplyX => outs
+                .into_iter()
+                .map(|o| match o {
+                    Output::SendClient(c, ProtocolMsg::ReplyX(mut rx)) => {
+                        rx.result.output.push(0xFF);
+                        rx.result.ok = !rx.result.ok;
+                        Output::SendClient(c, ProtocolMsg::ReplyX(rx))
+                    }
+                    other => other,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An app wrapper for coordinated wrong execution: calls whose `(proc,
+/// args)` the predicate matches are replaced by the forged behaviour; all
+/// other calls pass through. Install the same `TamperedApp` on a quorum of
+/// replicas and the cluster happily certifies wrong results — until an
+/// audit replays the ledger with the honest app (§4.1 replayLedger).
+pub struct TamperedApp {
+    inner: Arc<dyn App>,
+    /// Returns `Some(forged_output)` when the call should be tampered.
+    forge: Box<dyn Fn(ProcId, &[u8], ClientId) -> Option<Vec<u8>> + Send + Sync>,
+}
+
+impl TamperedApp {
+    /// Wrap `inner`, forging calls selected by `forge`.
+    pub fn new(
+        inner: Arc<dyn App>,
+        forge: impl Fn(ProcId, &[u8], ClientId) -> Option<Vec<u8>> + Send + Sync + 'static,
+    ) -> Self {
+        TamperedApp { inner, forge: Box::new(forge) }
+    }
+}
+
+impl App for TamperedApp {
+    fn execute(
+        &self,
+        kv: &mut KvStore,
+        proc: ProcId,
+        args: &[u8],
+        client: ClientId,
+    ) -> Result<Vec<u8>, AppError> {
+        if let Some(forged) = (self.forge)(proc, args, client) {
+            // Execute the honest logic for its state effects, then lie
+            // about the output — the subtlest variant: the write set is
+            // plausible, only the reply is wrong. (Returning without
+            // executing forges both; both are caught by replay.)
+            let _ = self.inner.execute(kv, proc, args, client);
+            return Ok(forged);
+        }
+        self.inner.execute(kv, proc, args, client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::CounterApp;
+
+    #[test]
+    fn tampered_app_forges_selected_calls_only() {
+        let app = TamperedApp::new(Arc::new(CounterApp), |proc, args, _| {
+            (proc == CounterApp::READ && args == b"victim").then(|| 999u64.to_le_bytes().to_vec())
+        });
+        let mut kv = KvStore::new();
+        kv.begin_tx().unwrap();
+        // Honest calls pass through.
+        let v = app.execute(&mut kv, CounterApp::INCR, b"victim", ClientId(1)).unwrap();
+        assert_eq!(v, 1u64.to_le_bytes());
+        // The selected read is forged.
+        let v = app.execute(&mut kv, CounterApp::READ, b"victim", ClientId(1)).unwrap();
+        assert_eq!(v, 999u64.to_le_bytes());
+        // Other keys are untouched.
+        let v = app.execute(&mut kv, CounterApp::READ, b"other", ClientId(1)).unwrap();
+        assert_eq!(v, 0u64.to_le_bytes());
+        kv.commit_tx().unwrap();
+    }
+}

@@ -1,0 +1,159 @@
+//! Checkpoints (§3.4).
+//!
+//! Every `C` sequence numbers a replica snapshots its key-value store and
+//! the ledger tree frontier. The *digest* of the checkpoint at `s` is
+//! agreed in-band: the batch at `s + C` carries a checkpoint system
+//! transaction recording it, and backups refuse the pre-prepare unless
+//! their own digest matches. Receipts reference the *penultimate*
+//! checkpoint digest `d_C`, which bounds audit replay to at most `2C`
+//! sequence numbers.
+
+use std::collections::BTreeMap;
+
+use ia_ccf_kv::KvCheckpoint;
+use ia_ccf_merkle::Frontier;
+use ia_ccf_types::{Digest, SeqNum};
+
+/// One checkpoint: the KV snapshot plus the ledger-tree frontier and the
+/// ledger length, taken after executing batch `seq`.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// Sequence number the checkpoint was taken at.
+    pub seq: SeqNum,
+    /// Key-value store snapshot with digest.
+    pub kv: KvCheckpoint,
+    /// Ledger tree `M` frontier at that point.
+    pub frontier: Frontier,
+    /// Ledger length (entry count) at that point.
+    pub ledger_len: u64,
+    /// Logical transaction index counter at that point.
+    pub next_tx_index: u64,
+}
+
+/// Recent checkpoints, kept until superseded.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    by_seq: BTreeMap<SeqNum, CheckpointRecord>,
+    /// How many recent checkpoints to retain (audits need two: the
+    /// penultimate digest is referenced by receipts).
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// A store retaining `keep` checkpoints (at least 2).
+    pub fn new(keep: usize) -> Self {
+        CheckpointStore { by_seq: BTreeMap::new(), keep: keep.max(2) }
+    }
+
+    /// Insert a checkpoint, evicting the oldest beyond the retention limit.
+    pub fn insert(&mut self, record: CheckpointRecord) {
+        self.by_seq.insert(record.seq, record);
+        while self.by_seq.len() > self.keep {
+            let oldest = *self.by_seq.keys().next().expect("non-empty");
+            self.by_seq.remove(&oldest);
+        }
+    }
+
+    /// The checkpoint at exactly `seq`.
+    pub fn at(&self, seq: SeqNum) -> Option<&CheckpointRecord> {
+        self.by_seq.get(&seq)
+    }
+
+    /// The KV digest of the checkpoint at `seq`, if retained.
+    pub fn digest_at(&self, seq: SeqNum) -> Option<Digest> {
+        self.by_seq.get(&seq).map(|r| r.kv.digest())
+    }
+
+    /// The most recent checkpoint at or before `seq`.
+    pub fn latest_at_or_before(&self, seq: SeqNum) -> Option<&CheckpointRecord> {
+        self.by_seq.range(..=seq).next_back().map(|(_, r)| r)
+    }
+
+    /// Sequence numbers of retained checkpoints, ascending.
+    pub fn seqs(&self) -> Vec<SeqNum> {
+        self.by_seq.keys().copied().collect()
+    }
+
+    /// Drop checkpoints newer than `seq` (rollback during view change).
+    pub fn truncate_after(&mut self, seq: SeqNum) {
+        self.by_seq.retain(|s, _| *s <= seq);
+    }
+}
+
+/// The sequence number whose checkpoint digest a receipt at `seq` carries:
+/// the penultimate checkpoint (Appx. B):
+/// `scp = 0 if s < C, else C · (⌈s/C⌉ − 2)` (clamped at zero).
+pub fn receipt_checkpoint_seq(seq: SeqNum, interval: u64) -> SeqNum {
+    let s = seq.0;
+    if s < interval {
+        return SeqNum(0);
+    }
+    let k = s.div_ceil(interval);
+    SeqNum(interval * k.saturating_sub(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_ccf_kv::KvStore;
+
+    fn record(seq: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            seq: SeqNum(seq),
+            kv: KvStore::new().checkpoint(),
+            frontier: Frontier::new(),
+            ledger_len: seq * 3,
+            next_tx_index: seq * 2,
+        }
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut store = CheckpointStore::new(2);
+        store.insert(record(10));
+        store.insert(record(20));
+        store.insert(record(30));
+        assert!(store.at(SeqNum(10)).is_none());
+        assert!(store.at(SeqNum(20)).is_some());
+        assert!(store.at(SeqNum(30)).is_some());
+        assert_eq!(store.seqs(), vec![SeqNum(20), SeqNum(30)]);
+    }
+
+    #[test]
+    fn latest_at_or_before_picks_correctly() {
+        let mut store = CheckpointStore::new(4);
+        store.insert(record(10));
+        store.insert(record(20));
+        assert_eq!(store.latest_at_or_before(SeqNum(15)).unwrap().seq, SeqNum(10));
+        assert_eq!(store.latest_at_or_before(SeqNum(20)).unwrap().seq, SeqNum(20));
+        assert!(store.latest_at_or_before(SeqNum(9)).is_none());
+    }
+
+    #[test]
+    fn truncate_after_drops_new() {
+        let mut store = CheckpointStore::new(4);
+        store.insert(record(10));
+        store.insert(record(20));
+        store.truncate_after(SeqNum(15));
+        assert!(store.at(SeqNum(20)).is_none());
+        assert!(store.at(SeqNum(10)).is_some());
+    }
+
+    #[test]
+    fn receipt_checkpoint_seq_matches_paper_formula() {
+        let c = 10;
+        // s < C ⇒ 0.
+        assert_eq!(receipt_checkpoint_seq(SeqNum(0), c), SeqNum(0));
+        assert_eq!(receipt_checkpoint_seq(SeqNum(9), c), SeqNum(0));
+        // s = C: ⌈10/10⌉ = 1 ⇒ clamp to 0.
+        assert_eq!(receipt_checkpoint_seq(SeqNum(10), c), SeqNum(0));
+        // s in (C, 2C]: ⌈s/C⌉ = 2 ⇒ 0.
+        assert_eq!(receipt_checkpoint_seq(SeqNum(15), c), SeqNum(0));
+        assert_eq!(receipt_checkpoint_seq(SeqNum(20), c), SeqNum(0));
+        // s in (2C, 3C]: ⌈s/C⌉ = 3 ⇒ C.
+        assert_eq!(receipt_checkpoint_seq(SeqNum(21), c), SeqNum(10));
+        assert_eq!(receipt_checkpoint_seq(SeqNum(30), c), SeqNum(10));
+        // s = 45: ⌈45/10⌉ = 5 ⇒ 30.
+        assert_eq!(receipt_checkpoint_seq(SeqNum(45), c), SeqNum(30));
+    }
+}

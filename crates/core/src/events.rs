@@ -1,0 +1,68 @@
+//! Inputs and outputs of the sans-io replica.
+//!
+//! The replica never touches a socket: transports feed [`Input`]s and drain
+//! [`Output`]s (the smoltcp-style poll model from the networking guides).
+//! This is what makes the protocol deterministic under the simulator and
+//! directly testable.
+
+use ia_ccf_types::{ClientId, Configuration, Digest, ProtocolMsg, ReplicaId, SeqNum};
+
+/// Who a message came from. Channel authentication (MbedTLS in the paper)
+/// is modelled by the transport stamping the true sender here — a replica
+/// cannot be impersonated on the bus, matching the paper's authenticated
+/// channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeId {
+    /// A replica.
+    Replica(ReplicaId),
+    /// A client.
+    Client(ClientId),
+}
+
+/// One input event.
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// A protocol message from an authenticated peer.
+    Message {
+        /// Authenticated sender.
+        from: NodeId,
+        /// The message.
+        msg: ProtocolMsg,
+    },
+    /// A timer tick. The simulator and transports deliver these at a fixed
+    /// cadence; all protocol timeouts are measured in ticks.
+    Tick,
+}
+
+/// One output effect.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// Send to one replica.
+    SendReplica(ReplicaId, ProtocolMsg),
+    /// Send to every other replica in the active configuration.
+    BroadcastReplicas(ProtocolMsg),
+    /// Send to a client.
+    SendClient(ClientId, ProtocolMsg),
+    /// A batch committed (informational; used by harnesses and tests).
+    Committed {
+        /// Sequence number of the committed batch.
+        seq: SeqNum,
+        /// Number of transactions in it.
+        tx_count: usize,
+    },
+    /// A checkpoint was taken (informational).
+    CheckpointTaken {
+        /// Sequence number of the checkpoint.
+        seq: SeqNum,
+        /// Digest of the key-value store at that point.
+        kv_digest: Digest,
+    },
+    /// A reconfiguration completed and this configuration is now active
+    /// (informational; the harness uses it to start/stop replicas).
+    ConfigActivated {
+        /// The new configuration.
+        config: Box<Configuration>,
+    },
+    /// This replica left the active set and retired (§5.1).
+    Retired,
+}

@@ -1,0 +1,83 @@
+//! Parallel batch signature verification.
+//!
+//! §3.4: "Signature verification is parallelized for messages received from
+//! replicas and clients to improve throughput and scalability." §6.5 notes
+//! the audit bottleneck is client-request signature verification, "which can
+//! be trivially parallelized" — this module is that parallelization, shared
+//! by replicas and the auditor.
+
+use rayon::prelude::*;
+
+use crate::keys::{PublicKey, Signature};
+
+/// One verification work item: `sig` must verify over `msg` under `key`.
+pub struct VerifyJob {
+    /// Verifying key.
+    pub key: PublicKey,
+    /// Signed payload bytes.
+    pub msg: Vec<u8>,
+    /// Detached signature.
+    pub sig: Signature,
+}
+
+/// Verify all jobs in parallel; `true` iff every signature verifies.
+pub fn verify_batch(jobs: &[VerifyJob]) -> bool {
+    jobs.par_iter().all(|j| j.key.verify(&j.msg, &j.sig))
+}
+
+/// Verify all jobs in parallel and return the indices that *failed*.
+///
+/// Auditing needs to know which signer misbehaved, not just that someone
+/// did, so failures are reported individually.
+pub fn verify_batch_indices(jobs: &[VerifyJob]) -> Vec<usize> {
+    jobs.par_iter()
+        .enumerate()
+        .filter_map(|(i, j)| (!j.key.verify(&j.msg, &j.sig)).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+
+    fn jobs(n: usize) -> Vec<VerifyJob> {
+        (0..n)
+            .map(|i| {
+                let kp = KeyPair::from_label(&format!("k{i}"));
+                let msg = format!("message {i}").into_bytes();
+                let sig = kp.sign(&msg);
+                VerifyJob { key: kp.public(), msg, sig }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_valid_batch_passes() {
+        assert!(verify_batch(&jobs(32)));
+        assert!(verify_batch_indices(&jobs(32)).is_empty());
+    }
+
+    #[test]
+    fn single_bad_signature_is_located() {
+        let mut js = jobs(16);
+        js[7].sig.0[0] ^= 1;
+        assert!(!verify_batch(&js));
+        assert_eq!(verify_batch_indices(&js), vec![7]);
+    }
+
+    #[test]
+    fn multiple_bad_signatures_located_in_order() {
+        let mut js = jobs(16);
+        js[3].msg.push(b'!');
+        js[11].sig.0[10] ^= 0x42;
+        let mut failed = verify_batch_indices(&js);
+        failed.sort_unstable();
+        assert_eq!(failed, vec![3, 11]);
+    }
+
+    #[test]
+    fn empty_batch_is_vacuously_valid() {
+        assert!(verify_batch(&[]));
+    }
+}

@@ -1,0 +1,189 @@
+//! Ed25519 signing keys, public keys and signatures.
+//!
+//! Replicas sign pre-prepare/prepare/view-change/new-view messages, clients
+//! sign requests, members sign governance transactions and replica-key
+//! endorsements (§2, §5.1). The paper uses secp256k1; Ed25519 has the same
+//! signature and public key sizes (64 B / 32 B) so ledger-entry and receipt
+//! sizes (Tab. 1, §6.4) keep their shape.
+
+use ed25519_dalek::{Signer as _, Verifier as _};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::digest::{hash_bytes, Digest};
+
+/// Length in bytes of a serialized public key.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Length in bytes of a serialized signature.
+pub const SIGNATURE_LEN: usize = 64;
+
+/// A signing key pair held by a replica, client or consortium member.
+#[derive(Clone)]
+pub struct KeyPair {
+    signing: ed25519_dalek::SigningKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Generate a key pair from an OS RNG.
+    pub fn generate() -> Self {
+        let mut rng = rand::rngs::OsRng;
+        let signing = ed25519_dalek::SigningKey::generate(&mut rng);
+        let public = PublicKey(signing.verifying_key().to_bytes());
+        KeyPair { signing, public }
+    }
+
+    /// Deterministic key pair from a 32-byte seed. Used by tests and the
+    /// simulator so clusters are reproducible run-to-run.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let signing = ed25519_dalek::SigningKey::from_bytes(&seed);
+        let public = PublicKey(signing.verifying_key().to_bytes());
+        KeyPair { signing, public }
+    }
+
+    /// Deterministic key pair derived from an arbitrary label.
+    pub fn from_label(label: &str) -> Self {
+        Self::from_seed(hash_bytes(label.as_bytes()).0)
+    }
+
+    /// The public half of the pair.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature(self.signing.sign(msg).to_bytes())
+    }
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyPair(pub={})", self.public)
+    }
+}
+
+/// A serializable Ed25519 public key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PublicKey(pub [u8; PUBLIC_KEY_LEN]);
+
+impl PublicKey {
+    /// Verify `sig` over `msg` under this key.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let Ok(vk) = ed25519_dalek::VerifyingKey::from_bytes(&self.0) else {
+            return false;
+        };
+        let s = ed25519_dalek::Signature::from_bytes(&sig.0);
+        vk.verify(msg, &s).is_ok()
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; PUBLIC_KEY_LEN] {
+        &self.0
+    }
+
+    /// Digest of the key, used to derive client identifiers.
+    pub fn digest(&self) -> Digest {
+        hash_bytes(&self.0)
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({}…)", hex::encode(&self.0[..6]))
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", hex::encode(self.0))
+    }
+}
+
+/// A detached Ed25519 signature.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature(#[serde(with = "serde_bytes64")] pub [u8; SIGNATURE_LEN]);
+
+impl Signature {
+    /// An all-zero placeholder signature. Never verifies; used only to
+    /// reserve space when measuring wire sizes.
+    pub const fn zero() -> Self {
+        Signature([0u8; SIGNATURE_LEN])
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; SIGNATURE_LEN] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}…)", hex::encode(&self.0[..6]))
+    }
+}
+
+/// Serde helper for `[u8; 64]`, which lacks built-in serde impls.
+mod serde_bytes64 {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[u8; 64], s: S) -> Result<S::Ok, S::Error> {
+        v.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 64], D::Error> {
+        let v: Vec<u8> = Vec::deserialize(d)?;
+        v.try_into()
+            .map_err(|_| serde::de::Error::custom("bad signature length"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::generate();
+        let sig = kp.sign(b"message");
+        assert!(kp.public().verify(b"message", &sig));
+        assert!(!kp.public().verify(b"messagf", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejects() {
+        let a = KeyPair::from_label("a");
+        let b = KeyPair::from_label("b");
+        let sig = a.sign(b"m");
+        assert!(!b.public().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn seeded_keys_are_deterministic() {
+        let a = KeyPair::from_label("replica-0");
+        let b = KeyPair::from_label("replica-0");
+        assert_eq!(a.public(), b.public());
+        assert_ne!(a.public(), KeyPair::from_label("replica-1").public());
+    }
+
+    #[test]
+    fn zero_signature_never_verifies() {
+        let kp = KeyPair::generate();
+        assert!(!kp.public().verify(b"m", &Signature::zero()));
+    }
+
+    #[test]
+    fn tampered_signature_rejects() {
+        let kp = KeyPair::generate();
+        let mut sig = kp.sign(b"m");
+        sig.0[0] ^= 0xff;
+        assert!(!kp.public().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn sizes_match_constants() {
+        let kp = KeyPair::generate();
+        assert_eq!(kp.public().as_bytes().len(), PUBLIC_KEY_LEN);
+        assert_eq!(kp.sign(b"x").as_bytes().len(), SIGNATURE_LEN);
+    }
+}

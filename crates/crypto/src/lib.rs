@@ -1,0 +1,30 @@
+//! Cryptographic substrate for IA-CCF.
+//!
+//! The paper (§3.1, §3.4) relies on three primitives, all provided here:
+//!
+//! * **SHA-256 digests** ([`Digest`]) used for Merkle trees, message hashes,
+//!   checkpoint digests and the service name `H(gt)`. The paper uses
+//!   EverCrypt's verified SHA-256; we use the `sha2` crate (same function).
+//! * **Signatures** ([`KeyPair`], [`PublicKey`], [`Signature`]) used by
+//!   replicas (pre-prepare/prepare, view-change, new-view), clients
+//!   (requests) and members (governance). The paper uses secp256k1; we use
+//!   Ed25519, which has the same signature (64 B) and public key (32 B)
+//!   sizes, so the ledger-entry and receipt sizes keep their shape.
+//! * **Nonce commitments** ([`Nonce`], [`NonceCommitment`]) implementing the
+//!   scheme of §3.1/Appx. A Lemma 3: replicas commit `H(k)` inside the signed
+//!   pre-prepare/prepare and later reveal `k` in the (unsigned) commit
+//!   message, halving the signatures on the critical path.
+//!
+//! Signature verification dominates IA-CCF's cost (§6.8), so this crate also
+//! provides rayon-parallel batch verification ([`batch::verify_batch`]),
+//! mirroring the paper's parallelized verification (§3.4).
+
+pub mod batch;
+pub mod digest;
+pub mod keys;
+pub mod nonce;
+
+pub use batch::{verify_batch, verify_batch_indices, VerifyJob};
+pub use digest::{hash_bytes, hash_pair, Digest, Hasher, DIGEST_LEN};
+pub use keys::{KeyPair, PublicKey, Signature, PUBLIC_KEY_LEN, SIGNATURE_LEN};
+pub use nonce::{Nonce, NonceCommitment, NONCE_LEN};

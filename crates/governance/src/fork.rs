@@ -1,0 +1,130 @@
+//! Governance fork detection — Appx. B Lemma 7.
+//!
+//! "There is a fork in governance if … there are at least two P-th
+//! end-of-config batches for the same configuration number that belong in
+//! valid governance sub-ledgers, but that are not equivalent." Two such
+//! batches are equivalent iff they sit at the same sequence number and
+//! their pre-prepares carry the same committed Merkle root (same preceding
+//! governance history).
+//!
+//! A correct replica prepares at most one `P`-th end-of-configuration batch
+//! per configuration number, so every replica that signed both receipts is
+//! provably misbehaving — and because both certificates carry `N − f`
+//! signers from the same (preceding) configuration, the intersection holds
+//! at least `f + 1` replicas.
+
+use ia_ccf_types::{BatchKind, Configuration, Receipt, ReplicaBitmap, ReplicaId};
+
+/// Proof of a governance fork: two valid, non-equivalent `P`-th
+/// end-of-configuration receipts for the same configuration number.
+#[derive(Debug, Clone)]
+pub struct ForkEvidence {
+    /// One branch's boundary receipt.
+    pub a: Receipt,
+    /// The other branch's boundary receipt.
+    pub b: Receipt,
+    /// Ranks (in the preceding configuration) that signed both.
+    pub blamed_ranks: ReplicaBitmap,
+}
+
+impl ForkEvidence {
+    /// The blamed replica ids under the preceding configuration.
+    pub fn blamed_ids(&self, config: &Configuration) -> Vec<ReplicaId> {
+        self.blamed_ranks
+            .iter()
+            .filter_map(|rank| config.replica_at_rank(rank).map(|r| r.id))
+            .collect()
+    }
+}
+
+/// Whether two `P`-th end-of-configuration receipts are *equivalent*:
+/// same sequence number and same committed Merkle root (hence the same
+/// preceding governance transactions).
+pub fn check_boundary_equivalence(a: &Receipt, b: &Receipt) -> bool {
+    a.cert.core.seq == b.cert.core.seq
+        && a.cert.core.committed_root == b.cert.core.committed_root
+}
+
+/// Inspect two boundary receipts believed to seal the *same*
+/// configuration number; if they are non-equivalent, produce fork
+/// evidence blaming the replicas that signed both (Lemma 7).
+pub fn find_fork(a: &Receipt, b: &Receipt) -> Option<ForkEvidence> {
+    let is_boundary = |r: &Receipt| matches!(r.kind(), BatchKind::EndOfConfig { .. });
+    if !is_boundary(a) || !is_boundary(b) {
+        return None;
+    }
+    if check_boundary_equivalence(a, b) {
+        return None;
+    }
+    let blamed_ranks = a.cert.signers.intersect(&b.cert.signers);
+    Some(ForkEvidence { a: a.clone(), b: b.clone(), blamed_ranks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_ccf_crypto::hash_bytes;
+    use ia_ccf_types::{
+        BatchCertificate, Digest, NonceCommitment, PrePrepareCore, ReceiptBody, LedgerIdx,
+        SeqNum, View,
+    };
+
+    fn boundary_receipt(seq: u64, committed_root: Digest, signers: &[usize]) -> Receipt {
+        Receipt {
+            cert: BatchCertificate {
+                core: PrePrepareCore {
+                    view: View(0),
+                    seq: SeqNum(seq),
+                    root_m: hash_bytes(b"m"),
+                    nonce_commit: NonceCommitment::default(),
+                    evidence_seq: SeqNum(0),
+                    evidence_bitmap: ReplicaBitmap::empty(),
+                    gov_index: LedgerIdx(3),
+                    checkpoint_digest: Digest::zero(),
+                    kind: BatchKind::EndOfConfig { phase: 2 },
+                    committed_root: Some(committed_root),
+                    primary: ia_ccf_types::ReplicaId(0),
+                },
+                primary_sig: ia_ccf_types::Signature::zero(),
+                signers: ReplicaBitmap::from_ranks(signers.iter().copied()),
+                prepare_sigs: vec![],
+                nonces: vec![],
+            },
+            body: ReceiptBody::Batch { root_g: Digest::zero() },
+        }
+    }
+
+    #[test]
+    fn equivalent_boundaries_are_not_a_fork() {
+        let root = hash_bytes(b"committed");
+        let a = boundary_receipt(10, root, &[0, 1, 2]);
+        let b = boundary_receipt(10, root, &[1, 2, 3]);
+        assert!(check_boundary_equivalence(&a, &b));
+        assert!(find_fork(&a, &b).is_none());
+    }
+
+    #[test]
+    fn different_committed_roots_are_a_fork() {
+        let a = boundary_receipt(10, hash_bytes(b"history-1"), &[0, 1, 2]);
+        let b = boundary_receipt(10, hash_bytes(b"history-2"), &[1, 2, 3]);
+        let fork = find_fork(&a, &b).expect("fork detected");
+        // The overlap {1, 2} is blamed — f + 1 for N = 4.
+        assert_eq!(fork.blamed_ranks.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn different_seq_is_a_fork() {
+        let root = hash_bytes(b"same");
+        let a = boundary_receipt(10, root, &[0, 1, 2]);
+        let b = boundary_receipt(14, root, &[0, 1, 2]);
+        assert!(find_fork(&a, &b).is_some());
+    }
+
+    #[test]
+    fn non_boundary_receipts_are_ignored() {
+        let mut a = boundary_receipt(10, hash_bytes(b"x"), &[0, 1, 2]);
+        a.cert.core.kind = BatchKind::Regular;
+        let b = boundary_receipt(10, hash_bytes(b"y"), &[0, 1, 2]);
+        assert!(find_fork(&a, &b).is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! Key-value store checkpoints.
+//!
+//! §3.4: "Checkpoints include the key-value store and the Merkle tree M's
+//! newest leaf, root, and the connecting branches." This module holds the
+//! KV half; the Merkle frontier lives in `ia-ccf-merkle` and the two are
+//! combined by the replica's checkpoint record in `ia-ccf-core`.
+
+use std::collections::BTreeMap;
+
+use ia_ccf_crypto::{Digest, Hasher};
+use serde::{Deserialize, Serialize};
+
+use crate::{Key, Value};
+
+/// A point-in-time snapshot of the store with its digest.
+///
+/// Replicas create one every C sequence numbers; auditors load one to replay
+/// a ledger fragment from `s_{C0}` (§4.1) instead of from genesis.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct KvCheckpoint {
+    digest: Digest,
+    entries: BTreeMap<Key, Value>,
+}
+
+impl KvCheckpoint {
+    /// Build a checkpoint from a full entry map, computing its digest.
+    pub fn from_entries(entries: BTreeMap<Key, Value>) -> Self {
+        let digest = digest_of(&entries);
+        KvCheckpoint { digest, entries }
+    }
+
+    /// The checkpoint digest `d_C` referenced by pre-prepares and receipts.
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
+    /// The snapshotted entries.
+    pub fn entries(&self) -> &BTreeMap<Key, Value> {
+        &self.entries
+    }
+
+    /// Number of keys in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty (genesis checkpoint).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Re-derive the digest from the contents and compare — used by
+    /// auditors to detect checkpoints whose advertised digest lies about
+    /// their contents.
+    pub fn verify_integrity(&self) -> bool {
+        digest_of(&self.entries) == self.digest
+    }
+
+    /// Forge a checkpoint whose advertised digest does not match its
+    /// contents. Only for fault-injection tests of the auditor.
+    pub fn forge_with_digest(entries: BTreeMap<Key, Value>, digest: Digest) -> Self {
+        KvCheckpoint { digest, entries }
+    }
+}
+
+fn digest_of(entries: &BTreeMap<Key, Value>) -> Digest {
+    let mut h = Hasher::new();
+    h.update((entries.len() as u64).to_le_bytes());
+    for (k, v) in entries {
+        h.update((k.len() as u32).to_le_bytes());
+        h.update(k);
+        h.update((v.len() as u32).to_le_bytes());
+        h.update(v);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KvStore;
+
+    #[test]
+    fn checkpoint_digest_matches_store_digest() {
+        let mut kv = KvStore::new();
+        kv.begin_tx().unwrap();
+        kv.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+        kv.commit_tx().unwrap();
+        let cp = kv.checkpoint();
+        assert_eq!(cp.digest(), kv.digest());
+        assert!(cp.verify_integrity());
+    }
+
+    #[test]
+    fn forged_checkpoint_fails_integrity() {
+        let cp = KvCheckpoint::forge_with_digest(
+            BTreeMap::from([(b"a".to_vec(), b"1".to_vec())]),
+            Digest::zero(),
+        );
+        assert!(!cp.verify_integrity());
+    }
+
+    #[test]
+    fn genesis_checkpoint_is_empty() {
+        let cp = KvCheckpoint::from_entries(BTreeMap::new());
+        assert!(cp.is_empty());
+        assert!(cp.verify_integrity());
+    }
+}

@@ -1,0 +1,39 @@
+//! Transactional key-value store for IA-CCF.
+//!
+//! §2: "Transactions are executed by replicas against a strictly-serializable
+//! key-value store that supports roll-back at transaction granularity."
+//! Appx. A Lemma 1 additionally requires rolling back a *suffix of executed
+//! batches* (early execution may run ahead of agreement and must be undone on
+//! divergence or view change), and §3.4 requires periodic checkpoints with
+//! digests.
+//!
+//! This crate supplies exactly those operations:
+//!
+//! * [`KvStore::begin_tx`] / [`KvStore::put`] / [`KvStore::delete`] /
+//!   [`KvStore::commit_tx`] / [`KvStore::abort_tx`] — transaction-granularity
+//!   execution with an undo log and per-transaction write sets (whose digest
+//!   goes into the ledger entry's result `o`, Fig. 3);
+//! * [`KvStore::begin_batch`] / [`KvStore::rollback_to_batch`] /
+//!   [`KvStore::release_batches_up_to`] — batch-suffix rollback (Lemma 1);
+//! * [`KvStore::digest`] / [`KvStore::checkpoint`] / [`KvStore::restore`] —
+//!   checkpoint creation and restoration (§3.4, §4.1 replay).
+//!
+//! Strict serializability holds trivially: replicas execute transactions
+//! single-threaded in ledger order, and clients only observe results after
+//! commit (Lemma 2).
+//!
+//! CCF uses a CHAMP map; we use an ordered map with O(log n) access, which
+//! reproduces Fig. 7's "throughput decreases as the store grows" shape.
+
+mod checkpoint;
+mod store;
+mod write_set;
+
+pub use checkpoint::KvCheckpoint;
+pub use store::{KvError, KvStore};
+pub use write_set::TxWriteSet;
+
+/// Keys are arbitrary byte strings.
+pub type Key = Vec<u8>;
+/// Values are arbitrary byte strings.
+pub type Value = Vec<u8>;

@@ -1,0 +1,25 @@
+//! The append-only ledger (§2 ❷, Fig. 3).
+//!
+//! The ledger stores, per batch: the commitment evidence for the batch `P`
+//! earlier (`P_{s−P}`, `K_{s−P}`), the signed pre-prepare, and the
+//! `⟨t, i, o⟩` transaction entries — plus view-change/new-view entries and
+//! the genesis transaction. Non-transaction entries are leaves of the
+//! Merkle tree `M`, whose root every signed pre-prepare carries, committing
+//! each replica to the entire history.
+//!
+//! Three facilities live here:
+//!
+//! * [`Ledger`] — the replica-side structure: append, rollback
+//!   ([`Ledger::truncate_to`], Lemma 1), roots, lookups;
+//! * [`segment`] — the shared structural grammar ("well-formedness" in
+//!   Appx. B terms) used by replicas validating fetched fragments and by
+//!   the auditor;
+//! * [`subledger`] — extraction of the governance sub-ledger (§5.2).
+
+pub mod segment;
+pub mod store;
+pub mod subledger;
+
+pub use segment::{segment_entries, Segment, SegmentError};
+pub use store::Ledger;
+pub use subledger::governance_tx_indices;

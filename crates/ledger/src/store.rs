@@ -1,0 +1,334 @@
+//! The replica-side ledger structure.
+
+use std::collections::BTreeMap;
+
+use ia_ccf_merkle::{Frontier, MerkleTree};
+use ia_ccf_types::{
+    Configuration, Digest, LedgerEntry, LedgerIdx, SeqNum, View, Wire,
+};
+
+/// The append-only ledger of one replica.
+///
+/// Every entry has a [`LedgerIdx`] (its position). Non-transaction entries
+/// are additionally leaves of the ledger Merkle tree `M`; `⟨t, i, o⟩`
+/// entries are bound through `Ḡ` inside their batch's pre-prepare instead
+/// (Alg. 1 appends only evidence/pre-prepare/view-change/new-view entries
+/// to `M`).
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    entries: Vec<LedgerEntry>,
+    tree: MerkleTree,
+    /// Entry index of each M-leaf, ascending; used to truncate the tree in
+    /// step with the entries.
+    m_leaf_entries: Vec<u64>,
+    /// Entry index of the pre-prepare for each sequence number. A sequence
+    /// number re-proposed in a later view overwrites the earlier mapping —
+    /// rollback rebuilds it.
+    pp_by_seq: BTreeMap<SeqNum, usize>,
+}
+
+impl Ledger {
+    /// A ledger seeded with the genesis transaction.
+    pub fn new(genesis_config: Configuration) -> Self {
+        let mut ledger = Ledger {
+            entries: Vec::new(),
+            tree: MerkleTree::new(),
+            m_leaf_entries: Vec::new(),
+            pp_by_seq: BTreeMap::new(),
+        };
+        ledger.append(LedgerEntry::Genesis { config: genesis_config });
+        ledger
+    }
+
+    /// An empty ledger (used when reconstructing from fragments).
+    pub fn empty() -> Self {
+        Ledger {
+            entries: Vec::new(),
+            tree: MerkleTree::new(),
+            m_leaf_entries: Vec::new(),
+            pp_by_seq: BTreeMap::new(),
+        }
+    }
+
+    /// The hash of the genesis transaction — the service name `H(gt)`.
+    pub fn genesis_hash(&self) -> Option<Digest> {
+        match self.entries.first() {
+            Some(e @ LedgerEntry::Genesis { .. }) => Some(ia_ccf_crypto::hash_bytes(&e.to_bytes())),
+            _ => None,
+        }
+    }
+
+    /// Append an entry, returning its index.
+    pub fn append(&mut self, entry: LedgerEntry) -> LedgerIdx {
+        let idx = self.entries.len() as u64;
+        if entry.is_m_leaf() {
+            self.tree.append(entry.m_leaf());
+            self.m_leaf_entries.push(idx);
+        }
+        if let LedgerEntry::PrePrepare(pp) = &entry {
+            self.pp_by_seq.insert(pp.seq(), idx as usize);
+        }
+        self.entries.push(entry);
+        LedgerIdx(idx)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at `idx`.
+    pub fn entry(&self, idx: LedgerIdx) -> Option<&LedgerEntry> {
+        self.entries.get(idx.0 as usize)
+    }
+
+    /// All entries, in order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Entries from `from` (inclusive) onward.
+    pub fn entries_from(&self, from: LedgerIdx) -> &[LedgerEntry] {
+        &self.entries[(from.0 as usize).min(self.entries.len())..]
+    }
+
+    /// Current root of the ledger tree `M` (`M̄` for the next pre-prepare).
+    pub fn root_m(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Number of M-leaves so far.
+    pub fn m_leaf_count(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// The tree frontier — persisted in checkpoints so a restoring replica
+    /// can continue appending without the interior of `M` (§3.4).
+    pub fn frontier(&self) -> Frontier {
+        self.tree.frontier()
+    }
+
+    /// Entry index of the pre-prepare currently governing `seq`, if any.
+    pub fn pp_index_at(&self, seq: SeqNum) -> Option<usize> {
+        self.pp_by_seq.get(&seq).copied()
+    }
+
+    /// The pre-prepare entry for `seq`, if any.
+    pub fn pp_at(&self, seq: SeqNum) -> Option<&ia_ccf_types::PrePrepare> {
+        match self.entries.get(self.pp_index_at(seq)?) {
+            Some(LedgerEntry::PrePrepare(pp)) => Some(pp),
+            _ => None,
+        }
+    }
+
+    /// Highest sequence number with a pre-prepare in the ledger.
+    pub fn max_seq(&self) -> Option<SeqNum> {
+        self.pp_by_seq.keys().next_back().copied()
+    }
+
+    /// Roll back to the first `new_len` entries (Lemma 1): truncates the
+    /// entry list, the Merkle tree and the sequence index together.
+    pub fn truncate_to(&mut self, new_len: u64) {
+        if new_len >= self.len() {
+            return;
+        }
+        // Tree leaves to keep: m-leaves whose entry index < new_len.
+        let keep_leaves = self.m_leaf_entries.partition_point(|&e| e < new_len);
+        self.tree.truncate(keep_leaves as u64);
+        self.m_leaf_entries.truncate(keep_leaves);
+        self.entries.truncate(new_len as usize);
+        // Rebuild the seq index for dropped/overwritten pre-prepares.
+        self.pp_by_seq.retain(|_, idx| (*idx as u64) < new_len);
+        // A seq may have had an earlier pp (other view) that was overwritten
+        // in the map and survives the truncation; rescan the tail to restore
+        // the latest surviving mapping.
+        for (i, e) in self.entries.iter().enumerate() {
+            if let LedgerEntry::PrePrepare(pp) = e {
+                let cur = self.pp_by_seq.get(&pp.seq()).copied().unwrap_or(0);
+                if i >= cur {
+                    self.pp_by_seq.insert(pp.seq(), i);
+                }
+            }
+        }
+    }
+
+    /// Index of the last governance transaction entry (`i_g`), scanning
+    /// back from the tail. `LedgerIdx(0)` (genesis) when none exists.
+    pub fn last_gov_index(&self) -> LedgerIdx {
+        for (i, e) in self.entries.iter().enumerate().rev() {
+            if let LedgerEntry::Tx(tx) = e {
+                if tx.request.is_governance() {
+                    return LedgerIdx(i as u64);
+                }
+            }
+        }
+        LedgerIdx(0)
+    }
+
+    /// Serialize a range of entries for transmission (ledger fragments,
+    /// fetch responses).
+    pub fn encode_range(&self, from: LedgerIdx, to_exclusive: LedgerIdx) -> Vec<Vec<u8>> {
+        let lo = (from.0 as usize).min(self.entries.len());
+        let hi = (to_exclusive.0 as usize).min(self.entries.len());
+        self.entries[lo..hi].iter().map(|e| e.to_bytes()).collect()
+    }
+
+    /// Views in which pre-prepares exist, ascending.
+    pub fn views_present(&self) -> Vec<View> {
+        let mut views: Vec<View> = self
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                LedgerEntry::PrePrepare(pp) => Some(pp.view()),
+                _ => None,
+            })
+            .collect();
+        views.sort_unstable();
+        views.dedup();
+        views
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_ccf_crypto::KeyPair;
+    use ia_ccf_types::config::testutil::test_config;
+    use ia_ccf_types::messages::testutil::test_pp;
+    use ia_ccf_types::{Nonce, SeqNum};
+
+    fn ledger4() -> (Ledger, Vec<KeyPair>) {
+        let (config, rk, _) = test_config(4);
+        (Ledger::new(config), rk)
+    }
+
+    #[test]
+    fn genesis_is_entry_zero() {
+        let (ledger, _) = ledger4();
+        assert_eq!(ledger.len(), 1);
+        assert!(matches!(ledger.entry(LedgerIdx(0)), Some(LedgerEntry::Genesis { .. })));
+        assert!(ledger.genesis_hash().is_some());
+        assert_eq!(ledger.m_leaf_count(), 1);
+    }
+
+    #[test]
+    fn append_updates_tree_only_for_m_leaves() {
+        let (mut ledger, rk) = ledger4();
+        let before = ledger.root_m();
+        // A tx entry does not touch M.
+        let kp = KeyPair::from_label("c");
+        let req = ia_ccf_types::SignedRequest::sign(
+            ia_ccf_types::Request {
+                action: ia_ccf_types::RequestAction::App {
+                    proc: ia_ccf_types::ProcId(1),
+                    args: vec![],
+                },
+                client: ia_ccf_types::ClientId(1),
+                gt_hash: ledger.genesis_hash().unwrap(),
+                min_index: LedgerIdx(0),
+                req_id: 1,
+            },
+            &kp,
+        );
+        ledger.append(LedgerEntry::Tx(ia_ccf_types::TxLedgerEntry {
+            request: req,
+            index: LedgerIdx(1),
+            result: ia_ccf_types::TxResult {
+                ok: true,
+                output: vec![],
+                write_set_digest: Digest::zero(),
+            },
+        }));
+        assert_eq!(ledger.root_m(), before);
+        assert_eq!(ledger.m_leaf_count(), 1);
+
+        // A pre-prepare does.
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        assert_ne!(ledger.root_m(), before);
+        assert_eq!(ledger.m_leaf_count(), 2);
+    }
+
+    #[test]
+    fn pp_lookup_by_seq() {
+        let (mut ledger, rk) = ledger4();
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])));
+        assert_eq!(ledger.pp_at(SeqNum(1)).unwrap().seq(), SeqNum(1));
+        assert_eq!(ledger.pp_at(SeqNum(2)).unwrap().seq(), SeqNum(2));
+        assert!(ledger.pp_at(SeqNum(3)).is_none());
+        assert_eq!(ledger.max_seq(), Some(SeqNum(2)));
+    }
+
+    #[test]
+    fn truncate_restores_root_and_index() {
+        let (mut ledger, rk) = ledger4();
+        let root1 = ledger.root_m();
+        let len1 = ledger.len();
+
+        ledger.append(LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] });
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        let root2 = ledger.root_m();
+        let len2 = ledger.len();
+
+        ledger.append(LedgerEntry::Nonces { seq: SeqNum(2), nonces: vec![Nonce([2; 16])] });
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])));
+        assert_ne!(ledger.root_m(), root2);
+
+        ledger.truncate_to(len2);
+        assert_eq!(ledger.root_m(), root2);
+        assert!(ledger.pp_at(SeqNum(2)).is_none());
+        assert!(ledger.pp_at(SeqNum(1)).is_some());
+
+        ledger.truncate_to(len1);
+        assert_eq!(ledger.root_m(), root1);
+        assert!(ledger.pp_at(SeqNum(1)).is_none());
+    }
+
+    #[test]
+    fn truncate_restores_older_view_pp_mapping() {
+        let (mut ledger, rk) = ledger4();
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        let idx_v0 = ledger.pp_index_at(SeqNum(1)).unwrap();
+        // Re-proposal of seq 1 in view 1 overwrites the mapping.
+        ledger.append(LedgerEntry::PrePrepare(test_pp(1, 1, &rk[1])));
+        assert_ne!(ledger.pp_index_at(SeqNum(1)).unwrap(), idx_v0);
+        // Rolling back the re-proposal restores the view-0 mapping.
+        ledger.truncate_to(ledger.len() - 1);
+        assert_eq!(ledger.pp_index_at(SeqNum(1)).unwrap(), idx_v0);
+    }
+
+    #[test]
+    fn frontier_tracks_tree() {
+        let (mut ledger, rk) = ledger4();
+        for s in 1..=5 {
+            ledger.append(LedgerEntry::Nonces { seq: SeqNum(s), nonces: vec![] });
+            ledger.append(LedgerEntry::PrePrepare(test_pp(0, s, &rk[0])));
+        }
+        assert_eq!(ledger.frontier().root(), ledger.root_m());
+    }
+
+    #[test]
+    fn views_present_collects_sorted_unique() {
+        let (mut ledger, rk) = ledger4();
+        ledger.append(LedgerEntry::PrePrepare(test_pp(2, 1, &rk[2])));
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])));
+        ledger.append(LedgerEntry::PrePrepare(test_pp(2, 3, &rk[2])));
+        assert_eq!(ledger.views_present(), vec![View(0), View(2)]);
+    }
+
+    #[test]
+    fn encode_range_roundtrips() {
+        let (mut ledger, rk) = ledger4();
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        let encoded = ledger.encode_range(LedgerIdx(0), LedgerIdx(99));
+        assert_eq!(encoded.len(), 2);
+        for (bytes, entry) in encoded.iter().zip(ledger.entries()) {
+            assert_eq!(&LedgerEntry::from_bytes(bytes).unwrap(), entry);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Governance sub-ledger extraction (§5.2).
+//!
+//! The governance sub-ledger is the subsequence of the ledger that
+//! determines signing keys: the genesis transaction, every governance
+//! transaction (propose/vote), and — once reconfiguration exists — the
+//! `P`-th and `2P`-th end-of-configuration batches of every configuration
+//! change. "Since governance transactions are relatively rare, this
+//! governance sub-ledger is significantly smaller than the full ledger."
+//!
+//! Clients do not hold the sub-ledger itself; they hold *receipts* for its
+//! entries (built in `ia-ccf-core` as batches commit). Auditors, who do
+//! hold ledger fragments, use these extraction helpers.
+
+use ia_ccf_types::{BatchKind, LedgerEntry, LedgerIdx};
+
+/// Indices of all governance transaction entries, in order.
+pub fn governance_tx_indices(entries: &[LedgerEntry]) -> Vec<LedgerIdx> {
+    entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            LedgerEntry::Tx(tx) if tx.request.is_governance() => Some(LedgerIdx(i as u64)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Indices of configuration-boundary pre-prepares (end/start-of-config).
+pub fn config_boundary_indices(entries: &[LedgerEntry]) -> Vec<(LedgerIdx, BatchKind)> {
+    entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            LedgerEntry::PrePrepare(pp) if pp.core.kind.is_config_boundary() => {
+                Some((LedgerIdx(i as u64), pp.core.kind))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// The governance sub-ledger: governance transactions plus boundary
+/// pre-prepares, as (index, entry) pairs in ledger order.
+pub fn governance_subledger(entries: &[LedgerEntry]) -> Vec<(LedgerIdx, &LedgerEntry)> {
+    entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
+            let keep = match e {
+                LedgerEntry::Genesis { .. } => true,
+                LedgerEntry::Tx(tx) => tx.request.is_governance(),
+                LedgerEntry::PrePrepare(pp) => pp.core.kind.is_config_boundary(),
+                _ => false,
+            };
+            keep.then_some((LedgerIdx(i as u64), e))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_ccf_crypto::KeyPair;
+    use ia_ccf_types::config::testutil::test_config;
+    use ia_ccf_types::messages::testutil::test_pp;
+    use ia_ccf_types::{
+        ClientId, GovAction, ProcId, Request, RequestAction, SignedRequest, TxLedgerEntry, TxResult,
+    };
+
+    fn tx(action: RequestAction, req_id: u64) -> LedgerEntry {
+        let kp = KeyPair::from_label("m");
+        LedgerEntry::Tx(TxLedgerEntry {
+            request: SignedRequest::sign(
+                Request {
+                    action,
+                    client: ClientId(1),
+                    gt_hash: ia_ccf_crypto::hash_bytes(b"gt"),
+                    min_index: LedgerIdx(0),
+                    req_id,
+                },
+                &kp,
+            ),
+            index: LedgerIdx(req_id),
+            result: TxResult {
+                ok: true,
+                output: vec![],
+                write_set_digest: ia_ccf_crypto::Digest::zero(),
+            },
+        })
+    }
+
+    #[test]
+    fn extracts_governance_entries_only() {
+        let (config, _, _) = test_config(4);
+        let kp = KeyPair::from_label("p");
+        let mut eoc = test_pp(0, 9, &kp);
+        eoc.core.kind = BatchKind::EndOfConfig { phase: 2 };
+
+        let entries = vec![
+            LedgerEntry::Genesis { config: config.clone() },
+            tx(RequestAction::App { proc: ProcId(1), args: vec![] }, 1),
+            tx(RequestAction::Governance(GovAction::Vote { proposal_id: 1, approve: true }), 2),
+            LedgerEntry::PrePrepare(test_pp(0, 3, &kp)),
+            LedgerEntry::PrePrepare(eoc),
+        ];
+
+        assert_eq!(governance_tx_indices(&entries), vec![LedgerIdx(2)]);
+        let boundaries = config_boundary_indices(&entries);
+        assert_eq!(boundaries.len(), 1);
+        assert_eq!(boundaries[0].0, LedgerIdx(4));
+
+        let sub = governance_subledger(&entries);
+        let idxs: Vec<u64> = sub.iter().map(|(i, _)| i.0).collect();
+        assert_eq!(idxs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_ledger_yields_empty_subledger() {
+        assert!(governance_subledger(&[]).is_empty());
+        assert!(governance_tx_indices(&[]).is_empty());
+    }
+}

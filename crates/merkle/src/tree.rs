@@ -1,0 +1,351 @@
+//! The append-only Merkle tree with rollback.
+
+use ia_ccf_crypto::{hash_pair, Digest};
+use serde::{Deserialize, Serialize};
+
+use crate::frontier::Frontier;
+use crate::path::MerklePath;
+
+/// An append-only Merkle tree over 32-byte leaf digests.
+///
+/// Internally a pyramid of levels: `levels[0]` holds the leaves and
+/// `levels[k + 1][j]` is `H(levels[k][2j] || levels[k][2j+1])`, or a
+/// promoted copy of `levels[k][2j]` when it has no right sibling. The top
+/// level holds the root. Invariant: `levels[k+1].len() == ceil(levels[k].len() / 2)`
+/// and the top level has exactly one element (when the tree is non-empty).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Digest>>,
+}
+
+impl MerkleTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        MerkleTree { levels: Vec::new() }
+    }
+
+    /// Build a tree from a leaf sequence.
+    pub fn from_leaves(leaves: impl IntoIterator<Item = Digest>) -> Self {
+        let mut t = Self::new();
+        for l in leaves {
+            t.append(l);
+        }
+        t
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> u64 {
+        self.levels.first().map_or(0, |l| l.len() as u64)
+    }
+
+    /// Whether the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The leaf digest at `index`, if present.
+    pub fn leaf(&self, index: u64) -> Option<Digest> {
+        self.levels.first()?.get(index as usize).copied()
+    }
+
+    /// The root digest. The empty tree has the all-zero sentinel root.
+    pub fn root(&self) -> Digest {
+        self.levels.last().and_then(|l| l.first()).copied().unwrap_or_else(Digest::zero)
+    }
+
+    /// Append a leaf, updating the right edge of the pyramid in O(log n).
+    pub fn append(&mut self, leaf: Digest) {
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(leaf);
+        let mut lvl = 0;
+        let mut idx = self.levels[0].len() - 1;
+        while self.levels[lvl].len() > 1 {
+            let parent_idx = idx / 2;
+            let left = self.levels[lvl][2 * parent_idx];
+            let parent = match self.levels[lvl].get(2 * parent_idx + 1) {
+                Some(right) => hash_pair(&left, right),
+                None => left,
+            };
+            if lvl + 1 == self.levels.len() {
+                self.levels.push(Vec::new());
+            }
+            let up = &mut self.levels[lvl + 1];
+            if parent_idx == up.len() {
+                up.push(parent);
+            } else {
+                up[parent_idx] = parent;
+            }
+            lvl += 1;
+            idx = parent_idx;
+        }
+    }
+
+    /// Roll back to the first `new_len` leaves (Lemma 1). No-op when
+    /// `new_len >= len`. O(log n): only the right-edge parents change.
+    pub fn truncate(&mut self, new_len: u64) {
+        let new_len = new_len as usize;
+        if self.levels.is_empty() || new_len >= self.levels[0].len() {
+            return;
+        }
+        if new_len == 0 {
+            self.levels.clear();
+            return;
+        }
+        let mut expected = new_len;
+        let mut lvl = 0;
+        loop {
+            self.levels[lvl].truncate(expected);
+            if expected == 1 {
+                self.levels.truncate(lvl + 1);
+                return;
+            }
+            let parent_len = expected.div_ceil(2);
+            let pi = parent_len - 1;
+            let left = self.levels[lvl][2 * pi];
+            let parent = match self.levels[lvl].get(2 * pi + 1) {
+                Some(right) => hash_pair(&left, right),
+                None => left,
+            };
+            let up = &mut self.levels[lvl + 1];
+            up.truncate(parent_len);
+            if pi == up.len() {
+                up.push(parent);
+            } else {
+                up[pi] = parent;
+            }
+            expected = parent_len;
+            lvl += 1;
+        }
+    }
+
+    /// Existence path for the leaf at `index`: the sibling hashes from leaf
+    /// to root (promoted levels contribute nothing). `None` when out of
+    /// range.
+    pub fn path(&self, index: u64) -> Option<MerklePath> {
+        let n = self.len();
+        if index >= n {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index as usize;
+        let mut len = n as usize;
+        let mut lvl = 0;
+        while len > 1 {
+            if idx % 2 == 0 {
+                if idx + 1 < len {
+                    siblings.push(self.levels[lvl][idx + 1]);
+                }
+                // else: promoted, no sibling at this level
+            } else {
+                siblings.push(self.levels[lvl][idx - 1]);
+            }
+            idx /= 2;
+            len = len.div_ceil(2);
+            lvl += 1;
+        }
+        Some(MerklePath { index, tree_len: n, siblings })
+    }
+
+    /// Extract the [`Frontier`] — enough state to keep appending (and
+    /// computing roots) without the interior of the tree. Checkpoints store
+    /// this (§3.4: "the Merkle tree M's newest leaf, root, and the
+    /// connecting branches").
+    pub fn frontier(&self) -> Frontier {
+        // A peak exists at level k iff bit k of the leaf count is set; it is
+        // the root of the maximal complete subtree covering leaves
+        // [base, base + 2^k) with base = len with the low k+1 bits cleared.
+        // Complete aligned subtrees contain no promoted nodes, so their
+        // roots sit at `levels[k][base >> k]` in the pyramid.
+        let n = self.len();
+        let nbits = (64 - n.leading_zeros()) as usize;
+        let mut peaks = vec![None; nbits];
+        for k in 0..nbits as u32 {
+            if (n >> k) & 1 == 1 {
+                let base = n & !((1u64 << (k + 1)) - 1);
+                peaks[k as usize] = Some(self.levels[k as usize][(base >> k) as usize]);
+            }
+        }
+        Frontier::from_parts(n, peaks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_ccf_crypto::hash_bytes;
+
+    pub(crate) fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| hash_bytes(format!("leaf-{i}").as_bytes())).collect()
+    }
+
+    /// Reference root computation: repeatedly pair up, promoting odd tails.
+    pub(crate) fn naive_root(leaves: &[Digest]) -> Digest {
+        if leaves.is_empty() {
+            return Digest::zero();
+        }
+        let mut level: Vec<Digest> = leaves.to_vec();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|c| if c.len() == 2 { hash_pair(&c[0], &c[1]) } else { c[0] })
+                .collect();
+        }
+        level[0]
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        assert_eq!(MerkleTree::new().root(), Digest::zero());
+        assert!(MerkleTree::new().is_empty());
+    }
+
+    #[test]
+    fn incremental_root_matches_naive_for_all_small_sizes() {
+        let ls = leaves(65);
+        let mut tree = MerkleTree::new();
+        for (i, l) in ls.iter().enumerate() {
+            tree.append(*l);
+            assert_eq!(tree.root(), naive_root(&ls[..=i]), "size {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = hash_bytes(b"only");
+        let t = MerkleTree::from_leaves([l]);
+        assert_eq!(t.root(), l);
+    }
+
+    #[test]
+    fn truncate_matches_fresh_build() {
+        let ls = leaves(33);
+        let full = MerkleTree::from_leaves(ls.iter().copied());
+        for keep in (0..=33).rev() {
+            let mut t = full.clone();
+            t.truncate(keep as u64);
+            let fresh = MerkleTree::from_leaves(ls[..keep].iter().copied());
+            assert_eq!(t.root(), fresh.root(), "keep {keep}");
+            assert_eq!(t.len(), keep as u64);
+        }
+    }
+
+    #[test]
+    fn truncate_then_append_diverges_and_reconverges() {
+        let ls = leaves(20);
+        let mut t = MerkleTree::from_leaves(ls.iter().copied());
+        t.truncate(10);
+        let r10 = t.root();
+        assert_eq!(r10, naive_root(&ls[..10]));
+        for l in &ls[10..] {
+            t.append(*l);
+        }
+        assert_eq!(t.root(), naive_root(&ls));
+    }
+
+    #[test]
+    fn paths_verify_for_every_leaf_and_size() {
+        for n in 1..40usize {
+            let ls = leaves(n);
+            let t = MerkleTree::from_leaves(ls.iter().copied());
+            for (i, l) in ls.iter().enumerate() {
+                let p = t.path(i as u64).expect("path exists");
+                assert!(p.verify(*l, t.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_rejects_wrong_leaf_and_wrong_root() {
+        let ls = leaves(13);
+        let t = MerkleTree::from_leaves(ls.iter().copied());
+        let p = t.path(5).unwrap();
+        assert!(!p.verify(hash_bytes(b"not-the-leaf"), t.root()));
+        assert!(!p.verify(ls[5], hash_bytes(b"not-the-root")));
+    }
+
+    #[test]
+    fn path_out_of_range_is_none() {
+        let t = MerkleTree::from_leaves(leaves(4));
+        assert!(t.path(4).is_none());
+        assert!(MerkleTree::new().path(0).is_none());
+    }
+
+    #[test]
+    fn leaf_accessor() {
+        let ls = leaves(5);
+        let t = MerkleTree::from_leaves(ls.iter().copied());
+        assert_eq!(t.leaf(3), Some(ls[3]));
+        assert_eq!(t.leaf(5), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::{leaves, naive_root};
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn root_matches_naive(n in 0usize..200) {
+            let ls = leaves(n);
+            let t = MerkleTree::from_leaves(ls.iter().copied());
+            prop_assert_eq!(t.root(), naive_root(&ls));
+        }
+
+        #[test]
+        fn truncate_is_prefix_root(n in 1usize..150, keep_frac in 0.0f64..1.0) {
+            let ls = leaves(n);
+            let keep = ((n as f64) * keep_frac) as usize;
+            let mut t = MerkleTree::from_leaves(ls.iter().copied());
+            t.truncate(keep as u64);
+            prop_assert_eq!(t.root(), naive_root(&ls[..keep]));
+        }
+
+        #[test]
+        fn every_path_verifies(n in 1usize..120, pick in 0usize..120) {
+            let ls = leaves(n);
+            let i = pick % n;
+            let t = MerkleTree::from_leaves(ls.iter().copied());
+            let p = t.path(i as u64).unwrap();
+            prop_assert!(p.verify(ls[i], t.root()));
+        }
+
+        #[test]
+        fn path_binds_position(n in 2usize..80, a in 0usize..80, b in 0usize..80) {
+            let (a, b) = (a % n, b % n);
+            prop_assume!(a != b);
+            let ls = leaves(n);
+            let t = MerkleTree::from_leaves(ls.iter().copied());
+            // A path for position `a` must not verify the leaf at `b`.
+            let p = t.path(a as u64).unwrap();
+            prop_assert!(!p.verify(ls[b], t.root()) || ls[a] == ls[b]);
+        }
+
+        #[test]
+        fn interleaved_append_truncate_matches_model(
+            ops in proptest::collection::vec((any::<bool>(), 0usize..50), 1..60)
+        ) {
+            let pool = leaves(64);
+            let mut model: Vec<Digest> = Vec::new();
+            let mut t = MerkleTree::new();
+            let mut next = 0usize;
+            for (is_append, amount) in ops {
+                if is_append {
+                    let l = pool[next % pool.len()];
+                    next += 1;
+                    model.push(l);
+                    t.append(l);
+                } else {
+                    let keep = amount.min(model.len());
+                    model.truncate(keep);
+                    t.truncate(keep as u64);
+                }
+                prop_assert_eq!(t.root(), naive_root(&model));
+                prop_assert_eq!(t.len(), model.len() as u64);
+            }
+        }
+    }
+}

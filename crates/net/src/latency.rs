@@ -1,0 +1,56 @@
+//! Network latency models.
+//!
+//! §6 Testbeds: (a) a dedicated cluster with a 40 Gbps network, (b) an
+//! Azure LAN, and (c) a WAN across three Azure regions. We model one-way
+//! delays; the protocol's round-trip structure (Fig. 2: request →
+//! pre-prepare → prepare → reply = 2 client round trips) then produces the
+//! latency shapes of Tab. 2.
+
+use std::time::Duration;
+
+/// A one-way link delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// No injected delay (dedicated cluster; delivery cost only).
+    Zero,
+    /// LAN: ~0.25 ms one-way.
+    Lan,
+    /// WAN across regions: ~30 ms one-way (US East ↔ US West 2 scale).
+    Wan,
+    /// A custom fixed one-way delay in microseconds.
+    FixedMicros(u64),
+}
+
+impl LatencyModel {
+    /// The one-way delay for a message.
+    pub fn one_way(&self) -> Duration {
+        match self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Lan => Duration::from_micros(250),
+            LatencyModel::Wan => Duration::from_millis(30),
+            LatencyModel::FixedMicros(us) => Duration::from_micros(*us),
+        }
+    }
+
+    /// The nominal round-trip time.
+    pub fn rtt(&self) -> Duration {
+        self.one_way() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_models() {
+        assert!(LatencyModel::Zero.one_way() < LatencyModel::Lan.one_way());
+        assert!(LatencyModel::Lan.one_way() < LatencyModel::Wan.one_way());
+        assert_eq!(LatencyModel::FixedMicros(500).one_way(), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn rtt_is_twice_one_way() {
+        assert_eq!(LatencyModel::Wan.rtt(), LatencyModel::Wan.one_way() * 2);
+    }
+}

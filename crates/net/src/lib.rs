@@ -1,0 +1,23 @@
+//! Transports for IA-CCF.
+//!
+//! The paper runs replicas on a 16-machine cluster and Azure LAN/WAN
+//! (§6, Testbeds); this crate supplies the substitution documented in
+//! DESIGN.md:
+//!
+//! * [`latency`] — the latency models (zero / LAN / WAN) used by both the
+//!   simulator and the threaded harness. Tab. 2's round-trip effects come
+//!   from here.
+//! * [`bus`] — a threaded in-memory message bus with per-link latency
+//!   injection and sender authentication (the paper's MbedTLS channels are
+//!   modelled by the bus stamping unforgeable sender ids).
+//! * [`tcp`] — a real localhost TCP transport with length-prefixed frames
+//!   (one reader thread per connection, graceful shutdown), used by the
+//!   `tcp_cluster` example to run the protocol over actual sockets.
+
+pub mod bus;
+pub mod latency;
+pub mod tcp;
+
+pub use bus::{Bus, BusEndpoint, Envelope};
+pub use latency::LatencyModel;
+pub use tcp::{TcpNode, TcpPeer};

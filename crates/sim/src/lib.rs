@@ -1,0 +1,21 @@
+//! Cluster harnesses for IA-CCF.
+//!
+//! * [`det`] — a deterministic single-threaded cluster: replicas, clients
+//!   and a FIFO message queue driven to quiescence, with fault injection
+//!   (crash, mute, tampered apps). All protocol tests, the audit scenarios
+//!   and the examples run on this.
+//! * [`rt`] — a threaded real-time cluster over the `ia-ccf-net` bus with
+//!   latency models; the benchmark binaries (Fig. 4–7, Tab. 2–3) run on
+//!   this and measure wall-clock throughput/latency with real crypto.
+//! * [`metrics`] — latency histograms and throughput counters.
+//! * [`scenario`] — canned cluster constructions shared by tests, examples
+//!   and benches.
+
+pub mod det;
+pub mod metrics;
+pub mod rt;
+pub mod scenario;
+
+pub use det::DetCluster;
+pub use metrics::{Histogram, Throughput};
+pub use scenario::ClusterSpec;

@@ -1,0 +1,62 @@
+//! Canned cluster constructions shared by tests, examples and benches.
+
+use std::sync::Arc;
+
+use ia_ccf_core::app::App;
+use ia_ccf_core::{ProtocolParams, Replica};
+use ia_ccf_crypto::KeyPair;
+use ia_ccf_types::config::testutil::test_config;
+use ia_ccf_types::{ClientId, Configuration, PublicKey, ReplicaId};
+
+/// Everything needed to stand up a cluster.
+pub struct ClusterSpec {
+    /// The genesis configuration.
+    pub genesis: Configuration,
+    /// Replica signing keys, by rank.
+    pub replica_keys: Vec<KeyPair>,
+    /// Member signing keys, by member id.
+    pub member_keys: Vec<KeyPair>,
+    /// Protocol parameters applied to every replica.
+    pub params: ProtocolParams,
+    /// Client identities to provision.
+    pub clients: Vec<(ClientId, KeyPair)>,
+}
+
+impl ClusterSpec {
+    /// A spec with `n` replicas (one member each) and `n_clients` clients,
+    /// deterministic keys throughout.
+    pub fn new(n: usize, n_clients: usize, params: ProtocolParams) -> Self {
+        let (genesis, replica_keys, member_keys) = test_config(n);
+        let clients = (0..n_clients)
+            .map(|i| {
+                let kp = KeyPair::from_label(&format!("client-{i}"));
+                (ClientId(1000 + i as u64), kp)
+            })
+            .collect();
+        ClusterSpec { genesis, replica_keys, member_keys, params, clients }
+    }
+
+    /// Adjust protocol parameters (pipeline depth / checkpoint interval
+    /// live in the configuration, the rest in [`ProtocolParams`]).
+    pub fn with_config(mut self, f: impl FnOnce(&mut Configuration)) -> Self {
+        f(&mut self.genesis);
+        self
+    }
+
+    /// Client key provisioning list.
+    pub fn client_keys(&self) -> Vec<(ClientId, PublicKey)> {
+        self.clients.iter().map(|(id, kp)| (*id, kp.public())).collect()
+    }
+
+    /// Build the replica with rank `rank` running `app`.
+    pub fn build_replica(&self, rank: usize, app: Arc<dyn App>) -> Replica {
+        Replica::new(
+            ReplicaId(rank as u32),
+            self.replica_keys[rank].clone(),
+            self.genesis.clone(),
+            app,
+            self.params.clone(),
+            self.client_keys(),
+        )
+    }
+}

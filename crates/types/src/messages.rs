@@ -1,0 +1,898 @@
+//! L-PBFT protocol messages (Alg. 1 and Alg. 2).
+//!
+//! Signing discipline: replicas sign **pre-prepare**, **prepare**,
+//! **view-change** and **new-view** messages. **Commit** messages are
+//! unsigned — they reveal the nonce whose hash was committed in the signed
+//! pre-prepare/prepare (§3.1's nonce commitment scheme), and **reply**
+//! messages reuse the pre-prepare/prepare signature instead of a fresh one
+//! (§3.3), which is how IA-CCF gets one signature per replica per batch.
+
+use ia_ccf_crypto::{hash_bytes, Digest, Nonce, NonceCommitment, Signature};
+use serde::{Deserialize, Serialize};
+
+use crate::entry::TxResult;
+use crate::ids::{LedgerIdx, ReplicaBitmap, ReplicaId, SeqNum, View};
+use crate::receipt::Receipt;
+use crate::request::SignedRequest;
+use crate::wire::{decode_seq, encode_seq, CodecError, Reader, Wire};
+use ia_ccf_merkle::MerklePath;
+
+/// Domain tags for replica signatures.
+pub mod domains {
+    /// Pre-prepare messages.
+    pub const PRE_PREPARE: u8 = 0x02;
+    /// Prepare messages.
+    pub const PREPARE: u8 = 0x03;
+    /// View-change messages.
+    pub const VIEW_CHANGE: u8 = 0x04;
+    /// New-view messages.
+    pub const NEW_VIEW: u8 = 0x05;
+}
+
+/// What a batch carries. Most batches are `Regular`; the others implement
+/// checkpointing (§3.4) and reconfiguration (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchKind {
+    /// Ordinary transaction batch.
+    Regular,
+    /// Contains the checkpoint system transaction recording the digest of
+    /// the checkpoint at `s − C`.
+    Checkpoint,
+    /// One of the `2P` empty end-of-configuration batches; `phase` counts
+    /// 1..=2P. The `P`-th and `2P`-th batches join the governance
+    /// sub-ledger.
+    EndOfConfig {
+        /// Position within the end-of-configuration run (1-based).
+        phase: u32,
+    },
+    /// One of the `P` empty start-of-configuration batches in the new
+    /// configuration; `phase` counts 1..=P.
+    StartOfConfig {
+        /// Position within the start-of-configuration run (1-based).
+        phase: u32,
+    },
+}
+
+impl BatchKind {
+    /// Whether this batch belongs to the governance sub-ledger machinery.
+    pub fn is_config_boundary(&self) -> bool {
+        matches!(self, BatchKind::EndOfConfig { .. } | BatchKind::StartOfConfig { .. })
+    }
+}
+
+/// The fields of a pre-prepare other than `Ḡ` and the signature.
+///
+/// Receipts transmit exactly this plus the transaction witness: the
+/// verifier recomputes `Ḡ` from the witness and rebuilds the signed bytes
+/// (Alg. 3 line 5), so the split mirrors the protocol.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrePrepareCore {
+    /// View this batch was ordered in.
+    pub view: View,
+    /// Batch sequence number.
+    pub seq: SeqNum,
+    /// `M̄`: root of the ledger Merkle tree after appending the evidence for
+    /// `s − P` but before this pre-prepare's own entry. Signing it commits
+    /// the primary to the entire ledger prefix (§3.1).
+    pub root_m: Digest,
+    /// `H(k_p)`: the primary's nonce commitment.
+    pub nonce_commit: NonceCommitment,
+    /// Sequence number the attached commitment evidence covers (`s − P`;
+    /// explicit so fragments are self-describing under pipelining).
+    pub evidence_seq: SeqNum,
+    /// `E_{s−P}`: ranks of replicas whose prepares/nonces form the evidence.
+    pub evidence_bitmap: ReplicaBitmap,
+    /// `i_g`: ledger index of the last governance transaction (§5.2), so
+    /// clients know which governance receipts they need.
+    pub gov_index: LedgerIdx,
+    /// `d_C`: digest of the key-value store at the penultimate checkpoint
+    /// (§3.4, Appx. B), from which audits replay.
+    pub checkpoint_digest: Digest,
+    /// What the batch carries.
+    pub kind: BatchKind,
+    /// End-of-configuration batches carry the *committed Merkle root* — the
+    /// root of `M` at the final `vote` batch (§5.1). `None` otherwise.
+    pub committed_root: Option<Digest>,
+    /// The primary that produced this pre-prepare (rank `view mod N`).
+    pub primary: ReplicaId,
+}
+
+/// A signed pre-prepare message (Alg. 1 line 12).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrePrepare {
+    /// All fields except `Ḡ` and the signature.
+    pub core: PrePrepareCore,
+    /// `Ḡ`: root of the per-batch Merkle tree over `⟨t, i, o⟩` entries.
+    pub root_g: Digest,
+    /// Primary's signature over [`PrePrepare::signing_payload`].
+    pub sig: Signature,
+}
+
+impl PrePrepare {
+    /// Canonical signed bytes for a (core, `Ḡ`) pair.
+    pub fn signing_payload(core: &PrePrepareCore, root_g: &Digest) -> Vec<u8> {
+        let mut buf = vec![domains::PRE_PREPARE];
+        core.encode(&mut buf);
+        root_g.encode(&mut buf);
+        buf
+    }
+
+    /// `H(pp)` over the *complete* message including the signature —
+    /// Alg. 3 binds prepares to `H(pp_{σp})`.
+    pub fn digest(&self) -> Digest {
+        hash_bytes(&self.to_bytes())
+    }
+
+    /// Rebuild the digest from receipt components (core + recomputed `Ḡ` +
+    /// primary signature), for Alg. 3 line 9.
+    pub fn digest_from_parts(core: &PrePrepareCore, root_g: &Digest, sig: &Signature) -> Digest {
+        let pp = PrePrepare { core: core.clone(), root_g: *root_g, sig: *sig };
+        pp.digest()
+    }
+
+    /// Convenience accessors.
+    pub fn view(&self) -> View {
+        self.core.view
+    }
+    /// Sequence number of the batch.
+    pub fn seq(&self) -> SeqNum {
+        self.core.seq
+    }
+}
+
+/// A signed prepare message (Alg. 1 line 25):
+/// `⟨prepare, r, H(K[v,s]), H(pp)⟩σr`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prepare {
+    /// View (redundant with `pp_digest`, kept for routing and audit).
+    pub view: View,
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// The sending backup.
+    pub replica: ReplicaId,
+    /// `H(K[v,s])`: the backup's nonce commitment.
+    pub nonce_commit: NonceCommitment,
+    /// `H(pp)` of the pre-prepare being prepared (includes σp).
+    pub pp_digest: Digest,
+    /// Backup's signature over [`Prepare::signing_payload`].
+    pub sig: Signature,
+}
+
+impl Prepare {
+    /// Canonical signed bytes.
+    pub fn signing_payload(
+        view: View,
+        seq: SeqNum,
+        replica: ReplicaId,
+        nonce_commit: &NonceCommitment,
+        pp_digest: &Digest,
+    ) -> Vec<u8> {
+        let mut buf = vec![domains::PREPARE];
+        view.encode(&mut buf);
+        seq.encode(&mut buf);
+        replica.encode(&mut buf);
+        nonce_commit.encode(&mut buf);
+        pp_digest.encode(&mut buf);
+        buf
+    }
+
+    /// This message's own signed bytes.
+    pub fn own_payload(&self) -> Vec<u8> {
+        Self::signing_payload(self.view, self.seq, self.replica, &self.nonce_commit, &self.pp_digest)
+    }
+}
+
+/// An *unsigned* commit message (Alg. 1 line 32): `⟨commit, v, s, r, K[v,s]⟩`.
+/// Sent over authenticated channels; the revealed nonce is the proof.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Commit {
+    /// View.
+    pub view: View,
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// Sender.
+    pub replica: ReplicaId,
+    /// The revealed nonce `K[v,s]` whose hash was committed earlier.
+    pub nonce: Nonce,
+}
+
+/// A reply to a client (Alg. 1 line 35): `⟨reply, v, s, r, σr, K[v,s]⟩`.
+/// `sig` is the replica's pre-prepare/prepare signature — no new signature
+/// is produced for replies.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reply {
+    /// View.
+    pub view: View,
+    /// Sequence number of the batch containing the client's request(s).
+    pub seq: SeqNum,
+    /// Sender.
+    pub replica: ReplicaId,
+    /// The replica's pre-prepare (if primary) or prepare (if backup)
+    /// signature for this batch.
+    pub sig: Signature,
+    /// The replica's revealed nonce for this batch.
+    pub nonce: Nonce,
+    /// The client's request ids included in this batch (one reply per
+    /// client per batch, §3.3).
+    pub req_ids: Vec<u64>,
+}
+
+/// The result-carrying reply from the designated replica (Alg. 1 line 38):
+/// `⟨replyx, v, s, M̄, H(kp), E_{s−P}, i_g, d_C, H(t), i, o, S⟩`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplyX {
+    /// Pre-prepare fields needed to rebuild the signed bytes (everything
+    /// except `Ḡ`, which the client recomputes from the witness).
+    pub core: PrePrepareCore,
+    /// The primary's pre-prepare signature σp.
+    pub primary_sig: Signature,
+    /// `H(t)` of the client's request.
+    pub tx_hash: Digest,
+    /// Ledger index `i` the transaction executed at.
+    pub index: LedgerIdx,
+    /// The result `o`.
+    pub result: TxResult,
+    /// Sibling path `S` from the `⟨t, i, o⟩` leaf to `Ḡ`.
+    pub path: MerklePath,
+}
+
+/// A signed view-change message (Alg. 2 line 4):
+/// `⟨view-change, v, r, PP⟩σr` where `PP` holds the last `P` locally
+/// prepared pre-prepares. We inline the prepare proof for the *last* entry
+/// (the paper fetches it separately; inlining trades bytes for a fetch
+/// round without changing what is proven).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewChange {
+    /// The view being moved to.
+    pub view: View,
+    /// Sender.
+    pub replica: ReplicaId,
+    /// `PP`: the last `P` pre-prepares that prepared locally, ascending by
+    /// sequence number. Used by auditors to check replicas reported what
+    /// they prepared (§3.2).
+    pub pps: Vec<PrePrepare>,
+    /// Prepares proving the last entry of `pps` prepared (quorum − 1
+    /// prepares matching it, from distinct replicas).
+    pub last_proof: Vec<Prepare>,
+    /// Sender's signature over [`ViewChange::signing_payload`].
+    pub sig: Signature,
+}
+
+impl ViewChange {
+    /// Canonical signed bytes: the message with the signature field blank.
+    pub fn signing_payload(
+        view: View,
+        replica: ReplicaId,
+        pps: &[PrePrepare],
+        last_proof: &[Prepare],
+    ) -> Vec<u8> {
+        let mut buf = vec![domains::VIEW_CHANGE];
+        view.encode(&mut buf);
+        replica.encode(&mut buf);
+        encode_seq(pps, &mut buf);
+        encode_seq(last_proof, &mut buf);
+        buf
+    }
+
+    /// This message's own signed bytes.
+    pub fn own_payload(&self) -> Vec<u8> {
+        Self::signing_payload(self.view, self.replica, &self.pps, &self.last_proof)
+    }
+
+    /// Highest sequence number this replica claims to have prepared.
+    pub fn last_prepared_seq(&self) -> Option<SeqNum> {
+        self.pps.last().map(|pp| pp.seq())
+    }
+}
+
+/// A signed new-view message (Alg. 2 line 15):
+/// `⟨new-view, v, M̄, E_vc, h_vc⟩σr`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NewViewMsg {
+    /// The new view.
+    pub view: View,
+    /// Root of the ledger tree after appending the view-change-set entry.
+    pub root_m: Digest,
+    /// `E_vc`: ranks of the replicas whose view-changes were accepted.
+    pub vc_bitmap: ReplicaBitmap,
+    /// `h_vc`: hash of the ledger entry holding those view-change messages.
+    pub vc_entry_hash: Digest,
+    /// New primary's signature over [`NewViewMsg::signing_payload`].
+    pub sig: Signature,
+}
+
+impl NewViewMsg {
+    /// Canonical signed bytes.
+    pub fn signing_payload(
+        view: View,
+        root_m: &Digest,
+        vc_bitmap: &ReplicaBitmap,
+        vc_entry_hash: &Digest,
+    ) -> Vec<u8> {
+        let mut buf = vec![domains::NEW_VIEW];
+        view.encode(&mut buf);
+        root_m.encode(&mut buf);
+        vc_bitmap.encode(&mut buf);
+        vc_entry_hash.encode(&mut buf);
+        buf
+    }
+
+    /// This message's own signed bytes.
+    pub fn own_payload(&self) -> Vec<u8> {
+        Self::signing_payload(self.view, &self.root_m, &self.vc_bitmap, &self.vc_entry_hash)
+    }
+}
+
+/// Everything that travels between nodes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolMsg {
+    /// A client request, sent to all replicas.
+    Request(SignedRequest),
+    /// Pre-prepare plus `B`, the request hashes in execution order (request
+    /// bodies travel separately from clients; backups fetch what they miss).
+    PrePrepare {
+        /// The signed pre-prepare.
+        pp: PrePrepare,
+        /// `B`: request digests in execution order.
+        batch: Vec<Digest>,
+    },
+    /// Prepare from a backup.
+    Prepare(Prepare),
+    /// Unsigned commit revealing the sender's nonce.
+    Commit(Commit),
+    /// Per-batch reply to a client.
+    Reply(Reply),
+    /// Result-carrying reply from the designated replica.
+    ReplyX(ReplyX),
+    /// View-change.
+    ViewChange(ViewChange),
+    /// New-view with its justification and the re-proposed batches.
+    NewView {
+        /// The signed new-view message.
+        nv: NewViewMsg,
+        /// The quorum of view-change messages justifying it.
+        view_changes: Vec<ViewChange>,
+        /// Pre-prepares re-issued in the new view with their batch lists.
+        resends: Vec<(PrePrepare, Vec<Digest>)>,
+    },
+    /// Ask a peer for request bodies by hash.
+    FetchRequests {
+        /// Hashes of the requests wanted.
+        hashes: Vec<Digest>,
+    },
+    /// Response carrying request bodies.
+    FetchRequestsResponse {
+        /// The requested bodies.
+        requests: Vec<SignedRequest>,
+    },
+    /// Ask a peer for its ledger suffix starting at a sequence number
+    /// (view-change synchronisation).
+    FetchLedger {
+        /// First sequence number wanted.
+        from_seq: SeqNum,
+    },
+    /// Encoded ledger entries answering a [`ProtocolMsg::FetchLedger`].
+    FetchLedgerResponse {
+        /// Wire-encoded `LedgerEntry` values in ledger order.
+        entries: Vec<Vec<u8>>,
+    },
+    /// Client asks for governance receipts from an index (§5.2).
+    FetchGovReceipts {
+        /// Return receipts for governance entries at or after this index.
+        from_index: LedgerIdx,
+    },
+    /// Governance receipts answering a fetch. Transaction links carry the
+    /// signed request so the client can replay the referendum (§5.2);
+    /// boundary links carry only the batch receipt.
+    GovReceipts {
+        /// `(request, receipt)` pairs in ledger order; `request` is `None`
+        /// for end-of-configuration boundary receipts.
+        receipts: Vec<(Option<SignedRequest>, Receipt)>,
+    },
+    /// Client asks a (non-designated) replica to resend the
+    /// result-carrying reply for a request (§3.3: on timeout the client
+    /// "selects a different replica to send back replyx").
+    FetchReceipt {
+        /// `H(t)` of the request.
+        tx_hash: Digest,
+    },
+    /// Ask a peer to retransmit the prepare/commit messages evidencing a
+    /// batch (§3.1: "If the backup is missing messages, it requests that
+    /// the primary retransmit them").
+    FetchEvidence {
+        /// The evidenced batch.
+        seq: SeqNum,
+    },
+    /// Response to [`ProtocolMsg::FetchEvidence`].
+    FetchEvidenceResponse {
+        /// Matching prepares for the batch.
+        prepares: Vec<Prepare>,
+        /// Commit messages (revealed nonces) for the batch.
+        commits: Vec<Commit>,
+    },
+    /// A signed acknowledgement of message receipt — only used by the
+    /// PeerReview baseline mode (§6.1), which acks every message.
+    SignedAck {
+        /// Digest of the acknowledged message.
+        msg_digest: Digest,
+        /// Acknowledging replica.
+        replica: ReplicaId,
+        /// Signature over the digest.
+        sig: Signature,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Wire impls
+// ---------------------------------------------------------------------
+
+impl Wire for BatchKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            BatchKind::Regular => buf.push(0),
+            BatchKind::Checkpoint => buf.push(1),
+            BatchKind::EndOfConfig { phase } => {
+                buf.push(2);
+                phase.encode(buf);
+            }
+            BatchKind::StartOfConfig { phase } => {
+                buf.push(3);
+                phase.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(BatchKind::Regular),
+            1 => Ok(BatchKind::Checkpoint),
+            2 => Ok(BatchKind::EndOfConfig { phase: u32::decode(r)? }),
+            3 => Ok(BatchKind::StartOfConfig { phase: u32::decode(r)? }),
+            tag => Err(CodecError::BadTag { context: "BatchKind", tag }),
+        }
+    }
+}
+
+impl Wire for PrePrepareCore {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.seq.encode(buf);
+        self.root_m.encode(buf);
+        self.nonce_commit.encode(buf);
+        self.evidence_seq.encode(buf);
+        self.evidence_bitmap.encode(buf);
+        self.gov_index.encode(buf);
+        self.checkpoint_digest.encode(buf);
+        self.kind.encode(buf);
+        self.committed_root.encode(buf);
+        self.primary.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PrePrepareCore {
+            view: View::decode(r)?,
+            seq: SeqNum::decode(r)?,
+            root_m: Digest::decode(r)?,
+            nonce_commit: NonceCommitment::decode(r)?,
+            evidence_seq: SeqNum::decode(r)?,
+            evidence_bitmap: ReplicaBitmap::decode(r)?,
+            gov_index: LedgerIdx::decode(r)?,
+            checkpoint_digest: Digest::decode(r)?,
+            kind: BatchKind::decode(r)?,
+            committed_root: Option::<Digest>::decode(r)?,
+            primary: ReplicaId::decode(r)?,
+        })
+    }
+}
+
+impl Wire for PrePrepare {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.core.encode(buf);
+        self.root_g.encode(buf);
+        self.sig.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PrePrepare {
+            core: PrePrepareCore::decode(r)?,
+            root_g: Digest::decode(r)?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Prepare {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.seq.encode(buf);
+        self.replica.encode(buf);
+        self.nonce_commit.encode(buf);
+        self.pp_digest.encode(buf);
+        self.sig.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Prepare {
+            view: View::decode(r)?,
+            seq: SeqNum::decode(r)?,
+            replica: ReplicaId::decode(r)?,
+            nonce_commit: NonceCommitment::decode(r)?,
+            pp_digest: Digest::decode(r)?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Commit {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.seq.encode(buf);
+        self.replica.encode(buf);
+        self.nonce.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Commit {
+            view: View::decode(r)?,
+            seq: SeqNum::decode(r)?,
+            replica: ReplicaId::decode(r)?,
+            nonce: Nonce::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Reply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.seq.encode(buf);
+        self.replica.encode(buf);
+        self.sig.encode(buf);
+        self.nonce.encode(buf);
+        encode_seq(&self.req_ids, buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Reply {
+            view: View::decode(r)?,
+            seq: SeqNum::decode(r)?,
+            replica: ReplicaId::decode(r)?,
+            sig: Signature::decode(r)?,
+            nonce: Nonce::decode(r)?,
+            req_ids: decode_seq(r)?,
+        })
+    }
+}
+
+impl Wire for ReplyX {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.core.encode(buf);
+        self.primary_sig.encode(buf);
+        self.tx_hash.encode(buf);
+        self.index.encode(buf);
+        self.result.encode(buf);
+        self.path.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ReplyX {
+            core: PrePrepareCore::decode(r)?,
+            primary_sig: Signature::decode(r)?,
+            tx_hash: Digest::decode(r)?,
+            index: LedgerIdx::decode(r)?,
+            result: TxResult::decode(r)?,
+            path: MerklePath::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ViewChange {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.replica.encode(buf);
+        encode_seq(&self.pps, buf);
+        encode_seq(&self.last_proof, buf);
+        self.sig.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ViewChange {
+            view: View::decode(r)?,
+            replica: ReplicaId::decode(r)?,
+            pps: decode_seq(r)?,
+            last_proof: decode_seq(r)?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl Wire for NewViewMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.root_m.encode(buf);
+        self.vc_bitmap.encode(buf);
+        self.vc_entry_hash.encode(buf);
+        self.sig.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(NewViewMsg {
+            view: View::decode(r)?,
+            root_m: Digest::decode(r)?,
+            vc_bitmap: ReplicaBitmap::decode(r)?,
+            vc_entry_hash: Digest::decode(r)?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ProtocolMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProtocolMsg::Request(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            ProtocolMsg::PrePrepare { pp, batch } => {
+                buf.push(1);
+                pp.encode(buf);
+                encode_seq(batch, buf);
+            }
+            ProtocolMsg::Prepare(p) => {
+                buf.push(2);
+                p.encode(buf);
+            }
+            ProtocolMsg::Commit(c) => {
+                buf.push(3);
+                c.encode(buf);
+            }
+            ProtocolMsg::Reply(r) => {
+                buf.push(4);
+                r.encode(buf);
+            }
+            ProtocolMsg::ReplyX(r) => {
+                buf.push(5);
+                r.encode(buf);
+            }
+            ProtocolMsg::ViewChange(vc) => {
+                buf.push(6);
+                vc.encode(buf);
+            }
+            ProtocolMsg::NewView { nv, view_changes, resends } => {
+                buf.push(7);
+                nv.encode(buf);
+                encode_seq(view_changes, buf);
+                (resends.len() as u32).encode(buf);
+                for (pp, batch) in resends {
+                    pp.encode(buf);
+                    encode_seq(batch, buf);
+                }
+            }
+            ProtocolMsg::FetchRequests { hashes } => {
+                buf.push(8);
+                encode_seq(hashes, buf);
+            }
+            ProtocolMsg::FetchRequestsResponse { requests } => {
+                buf.push(9);
+                encode_seq(requests, buf);
+            }
+            ProtocolMsg::FetchLedger { from_seq } => {
+                buf.push(10);
+                from_seq.encode(buf);
+            }
+            ProtocolMsg::FetchLedgerResponse { entries } => {
+                buf.push(11);
+                (entries.len() as u32).encode(buf);
+                for e in entries {
+                    e.encode(buf);
+                }
+            }
+            ProtocolMsg::FetchGovReceipts { from_index } => {
+                buf.push(12);
+                from_index.encode(buf);
+            }
+            ProtocolMsg::GovReceipts { receipts } => {
+                buf.push(13);
+                encode_seq(receipts, buf);
+            }
+            ProtocolMsg::FetchReceipt { tx_hash } => {
+                buf.push(14);
+                tx_hash.encode(buf);
+            }
+            ProtocolMsg::FetchEvidence { seq } => {
+                buf.push(16);
+                seq.encode(buf);
+            }
+            ProtocolMsg::FetchEvidenceResponse { prepares, commits } => {
+                buf.push(17);
+                encode_seq(prepares, buf);
+                encode_seq(commits, buf);
+            }
+            ProtocolMsg::SignedAck { msg_digest, replica, sig } => {
+                buf.push(15);
+                msg_digest.encode(buf);
+                replica.encode(buf);
+                sig.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(ProtocolMsg::Request(SignedRequest::decode(r)?)),
+            1 => Ok(ProtocolMsg::PrePrepare { pp: PrePrepare::decode(r)?, batch: decode_seq(r)? }),
+            2 => Ok(ProtocolMsg::Prepare(Prepare::decode(r)?)),
+            3 => Ok(ProtocolMsg::Commit(Commit::decode(r)?)),
+            4 => Ok(ProtocolMsg::Reply(Reply::decode(r)?)),
+            5 => Ok(ProtocolMsg::ReplyX(ReplyX::decode(r)?)),
+            6 => Ok(ProtocolMsg::ViewChange(ViewChange::decode(r)?)),
+            7 => {
+                let nv = NewViewMsg::decode(r)?;
+                let view_changes = decode_seq(r)?;
+                let n = u32::decode(r)?;
+                let mut resends = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    let pp = PrePrepare::decode(r)?;
+                    let batch = decode_seq(r)?;
+                    resends.push((pp, batch));
+                }
+                Ok(ProtocolMsg::NewView { nv, view_changes, resends })
+            }
+            8 => Ok(ProtocolMsg::FetchRequests { hashes: decode_seq(r)? }),
+            9 => Ok(ProtocolMsg::FetchRequestsResponse { requests: decode_seq(r)? }),
+            10 => Ok(ProtocolMsg::FetchLedger { from_seq: SeqNum::decode(r)? }),
+            11 => {
+                let n = u32::decode(r)?;
+                let mut entries = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    entries.push(Vec::<u8>::decode(r)?);
+                }
+                Ok(ProtocolMsg::FetchLedgerResponse { entries })
+            }
+            12 => Ok(ProtocolMsg::FetchGovReceipts { from_index: LedgerIdx::decode(r)? }),
+            13 => Ok(ProtocolMsg::GovReceipts { receipts: decode_seq(r)? }),
+            14 => Ok(ProtocolMsg::FetchReceipt { tx_hash: Digest::decode(r)? }),
+            15 => Ok(ProtocolMsg::SignedAck {
+                msg_digest: Digest::decode(r)?,
+                replica: ReplicaId::decode(r)?,
+                sig: Signature::decode(r)?,
+            }),
+            16 => Ok(ProtocolMsg::FetchEvidence { seq: SeqNum::decode(r)? }),
+            17 => Ok(ProtocolMsg::FetchEvidenceResponse {
+                prepares: decode_seq(r)?,
+                commits: decode_seq(r)?,
+            }),
+            tag => Err(CodecError::BadTag { context: "ProtocolMsg", tag }),
+        }
+    }
+}
+
+/// Test-support builders shared with downstream crates' tests.
+pub mod testutil {
+    use super::*;
+    use ia_ccf_crypto::KeyPair;
+
+    /// A populated pre-prepare signed by `key`.
+    pub fn test_pp(view: u64, seq: u64, key: &KeyPair) -> PrePrepare {
+        let core = PrePrepareCore {
+            view: View(view),
+            seq: SeqNum(seq),
+            root_m: hash_bytes(b"root-m"),
+            nonce_commit: Nonce([9; 16]).commitment(),
+            evidence_seq: SeqNum(seq.saturating_sub(2)),
+            evidence_bitmap: ReplicaBitmap::from_ranks([0, 1, 2]),
+            gov_index: LedgerIdx(0),
+            checkpoint_digest: Digest::zero(),
+            kind: BatchKind::Regular,
+            committed_root: None,
+            primary: ReplicaId(0),
+        };
+        let root_g = hash_bytes(b"root-g");
+        let sig = key.sign(&PrePrepare::signing_payload(&core, &root_g));
+        PrePrepare { core, root_g, sig }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::test_pp;
+    use super::*;
+    use ia_ccf_crypto::KeyPair;
+
+    #[test]
+    fn pre_prepare_roundtrip_and_signature() {
+        let kp = KeyPair::from_label("primary");
+        let pp = test_pp(0, 5, &kp);
+        let decoded = PrePrepare::from_bytes(&pp.to_bytes()).unwrap();
+        assert_eq!(decoded, pp);
+        assert!(kp
+            .public()
+            .verify(&PrePrepare::signing_payload(&decoded.core, &decoded.root_g), &decoded.sig));
+    }
+
+    #[test]
+    fn pp_digest_covers_signature() {
+        let kp = KeyPair::from_label("primary");
+        let a = test_pp(0, 5, &kp);
+        let mut b = a.clone();
+        b.sig.0[0] ^= 1;
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn prepare_roundtrip() {
+        let kp = KeyPair::from_label("backup");
+        let nc = Nonce([1; 16]).commitment();
+        let ppd = hash_bytes(b"pp");
+        let payload = Prepare::signing_payload(View(1), SeqNum(2), ReplicaId(3), &nc, &ppd);
+        let p = Prepare {
+            view: View(1),
+            seq: SeqNum(2),
+            replica: ReplicaId(3),
+            nonce_commit: nc,
+            pp_digest: ppd,
+            sig: kp.sign(&payload),
+        };
+        let d = Prepare::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(d, p);
+        assert!(kp.public().verify(&d.own_payload(), &d.sig));
+    }
+
+    #[test]
+    fn commit_and_reply_roundtrip() {
+        let c = Commit { view: View(1), seq: SeqNum(2), replica: ReplicaId(3), nonce: Nonce([7; 16]) };
+        assert_eq!(Commit::from_bytes(&c.to_bytes()).unwrap(), c);
+
+        let r = Reply {
+            view: View(1),
+            seq: SeqNum(2),
+            replica: ReplicaId(3),
+            sig: Signature::zero(),
+            nonce: Nonce([7; 16]),
+            req_ids: vec![4, 5],
+        };
+        assert_eq!(Reply::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn view_change_roundtrip_and_signature() {
+        let kp = KeyPair::from_label("r1");
+        let pps = vec![test_pp(0, 4, &kp), test_pp(0, 5, &kp)];
+        let payload = ViewChange::signing_payload(View(1), ReplicaId(1), &pps, &[]);
+        let vc = ViewChange {
+            view: View(1),
+            replica: ReplicaId(1),
+            pps,
+            last_proof: vec![],
+            sig: kp.sign(&payload),
+        };
+        let d = ViewChange::from_bytes(&vc.to_bytes()).unwrap();
+        assert_eq!(d, vc);
+        assert!(kp.public().verify(&d.own_payload(), &d.sig));
+        assert_eq!(d.last_prepared_seq(), Some(SeqNum(5)));
+    }
+
+    #[test]
+    fn protocol_msg_roundtrips() {
+        let kp = KeyPair::from_label("x");
+        let msgs = vec![
+            ProtocolMsg::PrePrepare { pp: test_pp(0, 1, &kp), batch: vec![hash_bytes(b"t1")] },
+            ProtocolMsg::Commit(Commit {
+                view: View(0),
+                seq: SeqNum(1),
+                replica: ReplicaId(2),
+                nonce: Nonce([3; 16]),
+            }),
+            ProtocolMsg::FetchRequests { hashes: vec![hash_bytes(b"a"), hash_bytes(b"b")] },
+            ProtocolMsg::FetchLedger { from_seq: SeqNum(10) },
+            ProtocolMsg::FetchLedgerResponse { entries: vec![vec![1, 2, 3], vec![]] },
+            ProtocolMsg::FetchGovReceipts { from_index: LedgerIdx(4) },
+        ];
+        for m in msgs {
+            assert_eq!(ProtocolMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn batch_kind_roundtrip() {
+        for k in [
+            BatchKind::Regular,
+            BatchKind::Checkpoint,
+            BatchKind::EndOfConfig { phase: 3 },
+            BatchKind::StartOfConfig { phase: 1 },
+        ] {
+            assert_eq!(BatchKind::from_bytes(&k.to_bytes()).unwrap(), k);
+        }
+        assert!(BatchKind::EndOfConfig { phase: 1 }.is_config_boundary());
+        assert!(!BatchKind::Checkpoint.is_config_boundary());
+    }
+}

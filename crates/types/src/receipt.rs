@@ -1,0 +1,552 @@
+//! Receipts and their verification — §3.3 and Alg. 3.
+//!
+//! A receipt is a statement signed by `N − f` replicas that a request `t`
+//! executed at ledger index `i` with result `o`. It consists of the
+//! pre-prepare fields (minus `Ḡ`), the primary's signature, the backups'
+//! prepare signatures `Σ_s`, the revealed nonces `K_s`, the signer bitmap
+//! `E_s`, and a Merkle path `S` from the `⟨t, i, o⟩` leaf to `Ḡ`.
+//!
+//! Verification recomputes `Ḡ` from the witness, rebuilds the exact signed
+//! bytes of the pre-prepare and each prepare, and checks every signature
+//! and the primary's nonce commitment. A forged nonce cannot slip through:
+//! the reconstructed prepare embeds `H(K_s[r])`, so a wrong nonce changes
+//! the signed bytes and the signature check fails.
+
+use ia_ccf_crypto::{Digest, Nonce, Signature};
+use serde::{Deserialize, Serialize};
+
+use crate::config::Configuration;
+use crate::entry::{g_leaf_hash, TxResult};
+use crate::ids::{LedgerIdx, ReplicaBitmap, ReplicaId, SeqNum, View};
+use crate::messages::{BatchKind, PrePrepare, PrePrepareCore, Prepare};
+use crate::wire::{decode_seq, encode_seq, CodecError, Reader, Wire};
+use ia_ccf_merkle::MerklePath;
+
+/// Why a receipt failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiptError {
+    /// `core.primary` is not the primary of `core.view` in this
+    /// configuration.
+    WrongPrimary,
+    /// Fewer than `N − f` signers.
+    InsufficientSigners {
+        /// Signers present.
+        got: usize,
+        /// Quorum required.
+        need: usize,
+    },
+    /// Signer bitmap, nonce list and signature list are inconsistent.
+    Malformed(&'static str),
+    /// A signer rank has no replica in this configuration.
+    UnknownSigner(usize),
+    /// The witness path does not produce a well-formed root.
+    BadPath,
+    /// The primary's signature over the reconstructed pre-prepare failed.
+    BadPrimarySig,
+    /// The primary's revealed nonce does not open its commitment.
+    BadPrimaryNonce,
+    /// A backup's prepare signature failed (rank given).
+    BadPrepareSig(usize),
+}
+
+impl std::fmt::Display for ReceiptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReceiptError::WrongPrimary => write!(f, "wrong primary for view"),
+            ReceiptError::InsufficientSigners { got, need } => {
+                write!(f, "insufficient signers: {got} < {need}")
+            }
+            ReceiptError::Malformed(why) => write!(f, "malformed receipt: {why}"),
+            ReceiptError::UnknownSigner(rank) => write!(f, "unknown signer rank {rank}"),
+            ReceiptError::BadPath => write!(f, "bad merkle path"),
+            ReceiptError::BadPrimarySig => write!(f, "bad primary signature"),
+            ReceiptError::BadPrimaryNonce => write!(f, "primary nonce does not open commitment"),
+            ReceiptError::BadPrepareSig(rank) => write!(f, "bad prepare signature at rank {rank}"),
+        }
+    }
+}
+
+impl std::error::Error for ReceiptError {}
+
+/// The quorum's signatures over one batch.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchCertificate {
+    /// Pre-prepare fields (minus `Ḡ`).
+    pub core: PrePrepareCore,
+    /// σp: the primary's pre-prepare signature.
+    pub primary_sig: Signature,
+    /// `E_s`: ranks of all signers (primary included).
+    pub signers: ReplicaBitmap,
+    /// `Σ_s`: prepare signatures of the non-primary signers, in rank order.
+    pub prepare_sigs: Vec<Signature>,
+    /// `K_s`: revealed nonces of all signers, in rank order.
+    pub nonces: Vec<Nonce>,
+}
+
+impl BatchCertificate {
+    /// Replica ids of the signers under `config` — the set blamed when the
+    /// receipt contradicts the ledger (§4.1).
+    pub fn signer_ids(&self, config: &Configuration) -> Vec<ReplicaId> {
+        self.signers
+            .iter()
+            .filter_map(|rank| config.replica_at_rank(rank).map(|r| r.id))
+            .collect()
+    }
+}
+
+/// What the receipt attests to.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReceiptBody {
+    /// A transaction receipt: `⟨t, i, o⟩` plus the path to `Ḡ`.
+    Tx(TxWitness),
+    /// A batch-level receipt (used for the `P`-th/`2P`-th
+    /// end-of-configuration batches in the governance sub-ledger, §5.2).
+    /// `root_g` is carried explicitly; empty batches have the zero root.
+    Batch {
+        /// `Ḡ` of the certified batch.
+        root_g: Digest,
+    },
+}
+
+/// The transaction-level part of a receipt.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxWitness {
+    /// `H(t)`.
+    pub tx_hash: Digest,
+    /// Ledger index `i`.
+    pub index: LedgerIdx,
+    /// Result `o`.
+    pub result: TxResult,
+    /// Sibling path `S` from the leaf to `Ḡ`.
+    pub path: MerklePath,
+}
+
+/// A complete receipt `R`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Receipt {
+    /// The quorum certificate.
+    pub cert: BatchCertificate,
+    /// The attested content.
+    pub body: ReceiptBody,
+}
+
+impl Receipt {
+    /// Sequence number of the certified batch.
+    pub fn seq(&self) -> SeqNum {
+        self.cert.core.seq
+    }
+
+    /// View of the certified batch.
+    pub fn view(&self) -> View {
+        self.cert.core.view
+    }
+
+    /// Batch kind.
+    pub fn kind(&self) -> BatchKind {
+        self.cert.core.kind
+    }
+
+    /// Ledger index of the transaction, when this is a transaction receipt.
+    pub fn tx_index(&self) -> Option<LedgerIdx> {
+        match &self.body {
+            ReceiptBody::Tx(w) => Some(w.index),
+            ReceiptBody::Batch { .. } => None,
+        }
+    }
+
+    /// `i_g`: last governance transaction index at certification time.
+    pub fn gov_index(&self) -> LedgerIdx {
+        self.cert.core.gov_index
+    }
+
+    /// `d_C`: checkpoint digest audits replay from.
+    pub fn checkpoint_digest(&self) -> Digest {
+        self.cert.core.checkpoint_digest
+    }
+
+    /// `Ḡ` implied by this receipt: recomputed from the witness for
+    /// transaction receipts, explicit for batch receipts.
+    pub fn implied_root_g(&self) -> Result<Digest, ReceiptError> {
+        match &self.body {
+            ReceiptBody::Tx(w) => {
+                let leaf = g_leaf_hash(&w.tx_hash, w.index, &w.result);
+                w.path.compute_root(leaf).ok_or(ReceiptError::BadPath)
+            }
+            ReceiptBody::Batch { root_g } => Ok(*root_g),
+        }
+    }
+
+    /// Verify the receipt under `config` (Alg. 3).
+    ///
+    /// On success returns the reconstructed pre-prepare digest `H(pp_{σp})`,
+    /// which auditors compare against the ledger.
+    pub fn verify(&self, config: &Configuration) -> Result<Digest, ReceiptError> {
+        let core = &self.cert.core;
+
+        // The primary is determined by the view (p = v mod N).
+        if config.primary_of(core.view) != core.primary {
+            return Err(ReceiptError::WrongPrimary);
+        }
+        let primary_rank = config.rank_of(core.primary).ok_or(ReceiptError::WrongPrimary)?;
+
+        let signer_count = self.cert.signers.count();
+        if signer_count < config.quorum() {
+            return Err(ReceiptError::InsufficientSigners {
+                got: signer_count,
+                need: config.quorum(),
+            });
+        }
+        if !self.cert.signers.contains(primary_rank) {
+            return Err(ReceiptError::Malformed("primary not among signers"));
+        }
+        if self.cert.nonces.len() != signer_count {
+            return Err(ReceiptError::Malformed("nonce count mismatch"));
+        }
+        if self.cert.prepare_sigs.len() != signer_count - 1 {
+            return Err(ReceiptError::Malformed("prepare signature count mismatch"));
+        }
+
+        // Recompute Ḡ (Alg. 3 lines 2–4) and rebuild the signed pre-prepare.
+        let root_g = self.implied_root_g()?;
+        let pp_payload = PrePrepare::signing_payload(core, &root_g);
+        let primary_key = config
+            .replica_key(core.primary)
+            .ok_or(ReceiptError::UnknownSigner(primary_rank))?;
+        if !primary_key.verify(&pp_payload, &self.cert.primary_sig) {
+            return Err(ReceiptError::BadPrimarySig);
+        }
+        let pp_digest = PrePrepare::digest_from_parts(core, &root_g, &self.cert.primary_sig);
+
+        // Check every signer (Alg. 3 lines 7–9).
+        let mut prepare_iter = self.cert.prepare_sigs.iter();
+        for (nonce_idx, rank) in self.cert.signers.iter().enumerate() {
+            let desc = config.replica_at_rank(rank).ok_or(ReceiptError::UnknownSigner(rank))?;
+            let nonce = &self.cert.nonces[nonce_idx];
+            if rank == primary_rank {
+                if nonce.commitment() != core.nonce_commit {
+                    return Err(ReceiptError::BadPrimaryNonce);
+                }
+            } else {
+                let sig = prepare_iter.next().ok_or(ReceiptError::Malformed("sig underrun"))?;
+                let payload = Prepare::signing_payload(
+                    core.view,
+                    core.seq,
+                    desc.id,
+                    &nonce.commitment(),
+                    &pp_digest,
+                );
+                if !desc.key.verify(&payload, sig) {
+                    return Err(ReceiptError::BadPrepareSig(rank));
+                }
+            }
+        }
+        Ok(pp_digest)
+    }
+}
+
+impl Wire for BatchCertificate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.core.encode(buf);
+        self.primary_sig.encode(buf);
+        self.signers.encode(buf);
+        encode_seq(&self.prepare_sigs, buf);
+        encode_seq(&self.nonces, buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BatchCertificate {
+            core: PrePrepareCore::decode(r)?,
+            primary_sig: Signature::decode(r)?,
+            signers: ReplicaBitmap::decode(r)?,
+            prepare_sigs: decode_seq(r)?,
+            nonces: decode_seq(r)?,
+        })
+    }
+}
+
+impl Wire for TxWitness {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.tx_hash.encode(buf);
+        self.index.encode(buf);
+        self.result.encode(buf);
+        self.path.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TxWitness {
+            tx_hash: Digest::decode(r)?,
+            index: LedgerIdx::decode(r)?,
+            result: TxResult::decode(r)?,
+            path: MerklePath::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ReceiptBody {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ReceiptBody::Tx(w) => {
+                buf.push(0);
+                w.encode(buf);
+            }
+            ReceiptBody::Batch { root_g } => {
+                buf.push(1);
+                root_g.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(ReceiptBody::Tx(TxWitness::decode(r)?)),
+            1 => Ok(ReceiptBody::Batch { root_g: Digest::decode(r)? }),
+            tag => Err(CodecError::BadTag { context: "ReceiptBody", tag }),
+        }
+    }
+}
+
+impl Wire for Receipt {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.cert.encode(buf);
+        self.body.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Receipt { cert: BatchCertificate::decode(r)?, body: ReceiptBody::decode(r)? })
+    }
+}
+
+/// Test-support builders producing honestly signed receipts without a
+/// running cluster. Shared by this crate's tests and downstream crates.
+pub mod testutil {
+    use super::*;
+    use crate::config::Configuration;
+    use ia_ccf_crypto::KeyPair;
+    use ia_ccf_merkle::MerkleTree;
+
+    /// Build a valid receipt for `⟨t, i, o⟩` entries, certifying the batch
+    /// with the first `quorum` replicas as signers. `replica_keys` must
+    /// align with `config.replicas` by rank. Returns one receipt per entry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn make_tx_receipts(
+        config: &Configuration,
+        replica_keys: &[KeyPair],
+        view: View,
+        seq: SeqNum,
+        root_m: Digest,
+        gov_index: LedgerIdx,
+        checkpoint_digest: Digest,
+        entries: &[(Digest, LedgerIdx, TxResult)],
+    ) -> Vec<Receipt> {
+        let n = config.n();
+        let quorum = config.quorum();
+        let primary = config.primary_of(view);
+        let primary_rank = config.rank_of(primary).unwrap();
+
+        // Per-batch tree G.
+        let mut g = MerkleTree::new();
+        for (tx_hash, index, result) in entries {
+            g.append(g_leaf_hash(tx_hash, *index, result));
+        }
+        let root_g = g.root();
+
+        // Nonces: one per replica, deterministic for tests.
+        let nonces: Vec<Nonce> =
+            (0..n).map(|r| Nonce([r as u8 + 1; ia_ccf_crypto::NONCE_LEN])).collect();
+
+        let core = PrePrepareCore {
+            view,
+            seq,
+            root_m,
+            nonce_commit: nonces[primary_rank].commitment(),
+            evidence_seq: seq.minus(2),
+            evidence_bitmap: ReplicaBitmap::from_ranks(0..quorum.min(n)),
+            gov_index,
+            checkpoint_digest,
+            kind: BatchKind::Regular,
+            committed_root: None,
+            primary,
+        };
+        let primary_sig =
+            replica_keys[primary_rank].sign(&PrePrepare::signing_payload(&core, &root_g));
+        let pp_digest = PrePrepare::digest_from_parts(&core, &root_g, &primary_sig);
+
+        // Signers: primary plus the lowest-ranked backups up to quorum.
+        let mut signer_ranks = vec![primary_rank];
+        for r in 0..n {
+            if signer_ranks.len() == quorum {
+                break;
+            }
+            if r != primary_rank {
+                signer_ranks.push(r);
+            }
+        }
+        signer_ranks.sort_unstable();
+
+        let mut prepare_sigs = Vec::new();
+        let mut signer_nonces = Vec::new();
+        for &rank in &signer_ranks {
+            signer_nonces.push(nonces[rank]);
+            if rank != primary_rank {
+                let payload = Prepare::signing_payload(
+                    view,
+                    seq,
+                    config.replicas[rank].id,
+                    &nonces[rank].commitment(),
+                    &pp_digest,
+                );
+                prepare_sigs.push(replica_keys[rank].sign(&payload));
+            }
+        }
+
+        let cert = BatchCertificate {
+            core,
+            primary_sig,
+            signers: ReplicaBitmap::from_ranks(signer_ranks.iter().copied()),
+            prepare_sigs,
+            nonces: signer_nonces,
+        };
+
+        entries
+            .iter()
+            .enumerate()
+            .map(|(pos, (tx_hash, index, result))| Receipt {
+                cert: cert.clone(),
+                body: ReceiptBody::Tx(TxWitness {
+                    tx_hash: *tx_hash,
+                    index: *index,
+                    result: result.clone(),
+                    path: g.path(pos as u64).expect("leaf exists"),
+                }),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::make_tx_receipts;
+    use super::*;
+    use crate::config::testutil::test_config;
+    use ia_ccf_crypto::hash_bytes;
+
+    fn result(out: &str) -> TxResult {
+        TxResult { ok: true, output: out.as_bytes().to_vec(), write_set_digest: hash_bytes(b"ws") }
+    }
+
+    fn sample_receipts(n: usize, count: usize) -> (Configuration, Vec<Receipt>) {
+        let (config, replica_keys, _) = test_config(n);
+        let entries: Vec<(Digest, LedgerIdx, TxResult)> = (0..count)
+            .map(|i| (hash_bytes(format!("t{i}").as_bytes()), LedgerIdx(10 + i as u64), result("r")))
+            .collect();
+        let receipts = make_tx_receipts(
+            &config,
+            &replica_keys,
+            View(0),
+            SeqNum(7),
+            hash_bytes(b"root-m"),
+            LedgerIdx(0),
+            Digest::zero(),
+            &entries,
+        );
+        (config, receipts)
+    }
+
+    #[test]
+    fn valid_receipt_verifies_f1() {
+        let (config, receipts) = sample_receipts(4, 3);
+        for r in &receipts {
+            r.verify(&config).expect("receipt valid");
+        }
+    }
+
+    #[test]
+    fn valid_receipt_verifies_f3() {
+        let (config, receipts) = sample_receipts(10, 2);
+        for r in &receipts {
+            r.verify(&config).expect("receipt valid");
+        }
+    }
+
+    #[test]
+    fn tampered_result_fails() {
+        let (config, mut receipts) = sample_receipts(4, 2);
+        let ReceiptBody::Tx(w) = &mut receipts[0].body else { panic!() };
+        w.result.output = b"forged".to_vec();
+        // The forged result changes the leaf, hence Ḡ, hence the primary's
+        // reconstructed signature check fails.
+        assert_eq!(receipts[0].verify(&config), Err(ReceiptError::BadPrimarySig));
+    }
+
+    #[test]
+    fn tampered_index_fails() {
+        let (config, mut receipts) = sample_receipts(4, 2);
+        let ReceiptBody::Tx(w) = &mut receipts[0].body else { panic!() };
+        w.index = LedgerIdx(999);
+        assert!(receipts[0].verify(&config).is_err());
+    }
+
+    #[test]
+    fn swapped_nonce_fails() {
+        let (config, mut receipts) = sample_receipts(4, 1);
+        receipts[0].cert.nonces.swap(0, 1);
+        assert!(receipts[0].verify(&config).is_err());
+    }
+
+    #[test]
+    fn insufficient_signers_detected() {
+        let (config, mut receipts) = sample_receipts(4, 1);
+        // Drop one signer: below quorum of 3.
+        let ranks: Vec<usize> = receipts[0].cert.signers.iter().collect();
+        receipts[0].cert.signers = ReplicaBitmap::from_ranks(ranks[..2].iter().copied());
+        receipts[0].cert.nonces.truncate(2);
+        receipts[0].cert.prepare_sigs.truncate(1);
+        assert_eq!(
+            receipts[0].verify(&config),
+            Err(ReceiptError::InsufficientSigners { got: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn wrong_view_primary_rejected() {
+        let (config, mut receipts) = sample_receipts(4, 1);
+        receipts[0].cert.core.view = View(1); // primary of v1 is r1, not r0
+        assert_eq!(receipts[0].verify(&config), Err(ReceiptError::WrongPrimary));
+    }
+
+    #[test]
+    fn truncated_path_rejected() {
+        let (config, mut receipts) = sample_receipts(4, 4);
+        let ReceiptBody::Tx(w) = &mut receipts[2].body else { panic!() };
+        w.path.siblings.clear();
+        assert_eq!(receipts[2].verify(&config), Err(ReceiptError::BadPath));
+    }
+
+    #[test]
+    fn receipt_wire_roundtrip() {
+        let (_, receipts) = sample_receipts(4, 2);
+        for r in &receipts {
+            assert_eq!(&Receipt::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn verify_returns_pp_digest_matching_parts() {
+        let (config, receipts) = sample_receipts(4, 1);
+        let d = receipts[0].verify(&config).unwrap();
+        let root_g = receipts[0].implied_root_g().unwrap();
+        assert_eq!(
+            d,
+            PrePrepare::digest_from_parts(
+                &receipts[0].cert.core,
+                &root_g,
+                &receipts[0].cert.primary_sig
+            )
+        );
+    }
+
+    #[test]
+    fn receipt_size_shape_tracks_f() {
+        // §6.4: receipts grow with f because Σs and Ks grow. Check the
+        // monotone shape (absolute numbers are properties of our codec).
+        let (_, r1) = sample_receipts(4, 1);
+        let (_, r3) = sample_receipts(10, 1);
+        assert!(r3[0].wire_len() > r1[0].wire_len());
+    }
+}

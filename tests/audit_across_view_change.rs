@@ -1,0 +1,103 @@
+//! Auditing a ledger that contains a view change (§3.2: "view changes are
+//! auditable"): an honest run whose primary crashed mid-stream must audit
+//! **clean** — receipts certified in view 0 for batches re-proposed in
+//! view 1 match by content — while a content change across the view change
+//! still convicts.
+
+use std::sync::Arc;
+
+use ia_ccf::audit::{AuditOutcome, Auditor, LedgerPackage, StoredReceipt};
+use ia_ccf::core::app::CounterApp;
+use ia_ccf::core::ProtocolParams;
+use ia_ccf::governance::chain::GovernanceChain;
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::{ReplicaId, SeqNum};
+
+#[test]
+fn honest_view_change_audits_clean() {
+    let mut params = ProtocolParams::default();
+    params.view_timeout_ticks = 15;
+    let spec = ClusterSpec::new(4, 1, params);
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let client = spec.clients[0].0;
+
+    for _ in 0..6 {
+        cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(6, 200));
+
+    // Crash the view-0 primary; survivors change view and continue.
+    cluster.crash(ReplicaId(0));
+    for _ in 0..6 {
+        cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(12, 600), "finished {}", cluster.finished.len());
+
+    let receipts: Vec<StoredReceipt> = cluster
+        .finished
+        .iter()
+        .map(|(_, tx)| StoredReceipt {
+            request: tx.request.clone(),
+            receipt: tx.receipt.clone().expect("receipts"),
+        })
+        .collect();
+    // Receipts span both views.
+    let views: std::collections::BTreeSet<u64> =
+        receipts.iter().map(|r| r.receipt.view().0).collect();
+    assert!(views.len() >= 2, "views: {views:?}");
+
+    // Audit against a survivor's ledger (which contains the view-change
+    // set and new-view entries): must be clean.
+    let package = LedgerPackage::from_replica(cluster.replica(ReplicaId(2)), SeqNum(0));
+    let has_vc = package
+        .entries
+        .iter()
+        .any(|e| matches!(e, ia_ccf_types::LedgerEntry::ViewChangeSet { .. }));
+    assert!(has_vc, "ledger must contain the view change");
+    let auditor = Auditor::new(spec.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
+    assert!(matches!(outcome, AuditOutcome::Clean), "{:?}", outcome.upom());
+}
+
+#[test]
+fn view_change_ledger_still_convicts_wrong_execution() {
+    // Same crash scenario, but every replica runs tampered logic: the
+    // audit must still convict from the post-view-change ledger.
+    use ia_ccf::core::byzantine::TamperedApp;
+    let mut params = ProtocolParams::default();
+    params.view_timeout_ticks = 15;
+    let spec = ClusterSpec::new(4, 1, params);
+    let tampered = |_: usize| -> Arc<dyn ia_ccf::core::App> {
+        Arc::new(TamperedApp::new(Arc::new(CounterApp), |proc, args, _| {
+            (proc == CounterApp::READ && args == b"k").then(|| 424242u64.to_le_bytes().to_vec())
+        }))
+    };
+    let mut cluster = DetCluster::with_apps(&spec, tampered);
+    let client = spec.clients[0].0;
+
+    for _ in 0..4 {
+        cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(4, 200));
+    cluster.crash(ReplicaId(0));
+    cluster.submit(client, CounterApp::READ, b"k".to_vec()); // the lie
+    assert!(cluster.run_until_finished(5, 600));
+
+    let receipts: Vec<StoredReceipt> = cluster
+        .finished
+        .iter()
+        .map(|(_, tx)| StoredReceipt {
+            request: tx.request.clone(),
+            receipt: tx.receipt.clone().expect("receipts"),
+        })
+        .collect();
+    let package = LedgerPackage::from_replica(cluster.replica(ReplicaId(1)), SeqNum(0));
+    let auditor = Auditor::new(spec.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
+    let upom = outcome.upom().expect("wrong execution must be found");
+    assert_eq!(upom.kind, ia_ccf::audit::UpomKind::WrongExecution);
+    assert!(upom.blamed.len() >= spec.genesis.f() + 1, "blamed: {:?}", upom.blamed);
+}

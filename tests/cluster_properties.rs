@@ -1,0 +1,104 @@
+//! Property-based end-to-end tests: for arbitrary fault-free workload
+//! schedules, the cluster must converge with identical ledgers, all
+//! receipts must verify, and a full audit must be clean. This is the
+//! system-level counterpart of Appx. A Thm. 1 (linearizability) plus the
+//! completeness direction of auditing (honest executions never blamed).
+
+use std::sync::Arc;
+
+use ia_ccf::audit::{AuditOutcome, Auditor, LedgerPackage, StoredReceipt};
+use ia_ccf::core::app::CounterApp;
+use ia_ccf::core::ProtocolParams;
+use ia_ccf::governance::chain::GovernanceChain;
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::{ReplicaId, SeqNum};
+use proptest::prelude::*;
+
+/// One scheduled client action.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Submit an increment of one of 4 keys from one of 2 clients.
+    Submit { client: u8, key: u8 },
+    /// Advance the cluster a round.
+    Round,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0u8..2, 0u8..4).prop_map(|(client, key)| Step::Submit { client, key }),
+        2 => Just(Step::Round),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_schedules_converge_and_audit_clean(
+        steps in proptest::collection::vec(step_strategy(), 5..40),
+        checkpoint_interval in prop_oneof![Just(5u64), Just(10), Just(100)],
+    ) {
+        let spec = ClusterSpec::new(4, 2, ProtocolParams::default())
+            .with_config(|c| c.checkpoint_interval = checkpoint_interval);
+        let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+        let mut submitted = 0usize;
+        let mut expected: [u64; 4] = [0; 4];
+
+        for step in &steps {
+            match step {
+                Step::Submit { client, key } => {
+                    let id = spec.clients[*client as usize].0;
+                    cluster.submit(id, CounterApp::INCR, vec![b'k', *key]);
+                    expected[*key as usize] += 1;
+                    submitted += 1;
+                }
+                Step::Round => cluster.round(),
+            }
+        }
+        prop_assert!(
+            cluster.run_until_finished(submitted, 1_000),
+            "only {}/{} finished", cluster.finished.len(), submitted
+        );
+        cluster.assert_ledgers_consistent();
+
+        // Application state matches the schedule on every replica.
+        for r in 0..4u32 {
+            let kv = cluster.replica(ReplicaId(r)).kv();
+            for key in 0..4u8 {
+                let got = kv
+                    .get(&[b'k', key])
+                    .map(|v| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+                    .unwrap_or(0);
+                prop_assert_eq!(got, expected[key as usize], "replica {} key {}", r, key);
+            }
+        }
+
+        // Every receipt verifies and the transaction indices are unique
+        // and strictly positive.
+        let mut indices = Vec::new();
+        for (_, tx) in &cluster.finished {
+            let receipt = tx.receipt.as_ref().expect("receipts enabled");
+            receipt.verify(&spec.genesis).expect("receipt verifies");
+            indices.push(receipt.tx_index().unwrap().0);
+        }
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), indices.len(), "indices must be unique");
+
+        // Honest executions audit clean (completeness of accountability:
+        // correct members are never blamed).
+        let receipts: Vec<StoredReceipt> = cluster
+            .finished
+            .iter()
+            .map(|(_, tx)| StoredReceipt {
+                request: tx.request.clone(),
+                receipt: tx.receipt.clone().unwrap(),
+            })
+            .collect();
+        let package = LedgerPackage::from_replica(cluster.replica(ReplicaId(0)), SeqNum(0));
+        let auditor = Auditor::new(spec.genesis.clone(), Arc::new(CounterApp));
+        let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
+        prop_assert!(matches!(outcome, AuditOutcome::Clean), "{:?}", outcome.upom());
+    }
+}

@@ -1,0 +1,130 @@
+//! Governance fork detection (Lemma 7): misbehaving replicas run *two*
+//! divergent reconfigurations from the same configuration — each branch
+//! produces a perfectly valid governance chain, and a client on either
+//! branch sees nothing wrong. Only when the two chains meet (two clients
+//! exchange receipts, or an auditor collects both) does the fork become
+//! provable: the replicas that signed both P-th end-of-configuration
+//! batches are blamed.
+
+use std::sync::Arc;
+
+use ia_ccf::audit::{Auditor, UpomKind};
+use ia_ccf::core::app::CounterApp;
+use ia_ccf::core::ProtocolParams;
+use ia_ccf::governance::chain::GovernanceChain;
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::{
+    ClientId, Configuration, GovAction, KeyPair, LedgerIdx, MemberDesc, MemberId, ReplicaDesc,
+    ReplicaId, Request, RequestAction, SignedRequest,
+};
+
+/// Run one "branch" of the fork: the same replicas (same keys) pass a
+/// referendum for `new_member_label` and return the resulting chain.
+fn run_branch(spec: &ClusterSpec, new_member_label: &str, extra_warmup: usize) -> GovernanceChain {
+    let mut cluster = DetCluster::new(spec, Arc::new(CounterApp));
+    let client = spec.clients[0].0;
+    let gt = cluster.replica(ReplicaId(0)).gt_hash();
+
+    let mut new_config: Configuration = spec.genesis.clone();
+    new_config.number = 1;
+    let member_kp = KeyPair::from_label(new_member_label);
+    let replica_kp = KeyPair::from_label(&format!("{new_member_label}-replica"));
+    new_config.members.push(MemberDesc { id: MemberId(4), key: member_kp.public() });
+    let payload = ReplicaDesc::endorsement_payload(ReplicaId(4), &replica_kp.public());
+    new_config.replicas.push(ReplicaDesc {
+        id: ReplicaId(4),
+        key: replica_kp.public(),
+        operator: MemberId(4),
+        endorsement: member_kp.sign(&payload),
+    });
+
+    // Different prefixes on each branch (diverged histories).
+    for _ in 0..extra_warmup {
+        cluster.submit(client, CounterApp::INCR, b"w".to_vec());
+        cluster.round();
+    }
+
+    cluster.submit_raw(
+        ClientId(0),
+        SignedRequest::sign(
+            Request {
+                action: RequestAction::Governance(GovAction::Propose {
+                    proposal_id: 1,
+                    new_config,
+                }),
+                client: ClientId(0),
+                gt_hash: gt,
+                min_index: LedgerIdx(0),
+                req_id: 1,
+            },
+            &spec.member_keys[0],
+        ),
+    );
+    cluster.round();
+    for m in 0..3u32 {
+        cluster.submit_raw(
+            ClientId(m as u64),
+            SignedRequest::sign(
+                Request {
+                    action: RequestAction::Governance(GovAction::Vote {
+                        proposal_id: 1,
+                        approve: true,
+                    }),
+                    client: ClientId(m as u64),
+                    gt_hash: gt,
+                    min_index: LedgerIdx(0),
+                    req_id: 10 + m as u64,
+                },
+                &spec.member_keys[m as usize],
+            ),
+        );
+        cluster.round();
+    }
+    assert!(cluster.run_until(400, |c| {
+        c.replicas.values().all(|r| r.inner.active_config().number == 1)
+    }));
+    let mut chain = GovernanceChain::new();
+    for link in cluster.replica(ReplicaId(1)).gov_chain() {
+        chain.push(link.clone());
+    }
+    chain
+}
+
+#[test]
+fn divergent_reconfigurations_yield_fork_upom() {
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default());
+    // The SAME replica keys seal two different configuration-1s on two
+    // ledger branches (a fork: correct replicas would never sign both).
+    let chain_a = run_branch(&spec, "branch-a-member", 1);
+    let chain_b = run_branch(&spec, "branch-b-member", 3);
+
+    // Each chain is individually valid — neither client suspects anything.
+    chain_a.verify(&spec.genesis).expect("branch A verifies");
+    chain_b.verify(&spec.genesis).expect("branch B verifies");
+
+    // Brought together, they convict.
+    let auditor = Auditor::new(spec.genesis.clone(), Arc::new(CounterApp));
+    let upom = auditor
+        .check_fork_between_chains(&chain_a, &chain_b)
+        .expect("both chains valid")
+        .expect("fork must be detected");
+    assert_eq!(upom.kind, UpomKind::GovernanceFork);
+    assert!(
+        upom.blamed.len() >= spec.genesis.f() + 1,
+        "at least f+1 replicas signed both branches: {:?}",
+        upom.blamed
+    );
+}
+
+#[test]
+fn identical_branches_are_not_a_fork() {
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default());
+    let chain_a = run_branch(&spec, "same-member", 2);
+    let chain_b = run_branch(&spec, "same-member", 2);
+    let auditor = Auditor::new(spec.genesis.clone(), Arc::new(CounterApp));
+    // Identical deterministic branches: equivalent boundaries, no fork.
+    assert!(auditor
+        .check_fork_between_chains(&chain_a, &chain_b)
+        .expect("valid chains")
+        .is_none());
+}

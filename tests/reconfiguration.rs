@@ -1,0 +1,242 @@
+//! End-to-end reconfiguration (§5): a referendum adds a member and a
+//! replica; the protocol runs the end-of-configuration / checkpoint /
+//! start-of-configuration schedule; a new replica bootstraps from the
+//! ledger and joins; clients verify receipts across the boundary through
+//! the governance receipt chain.
+
+use std::sync::Arc;
+
+use ia_ccf::core::app::CounterApp;
+use ia_ccf::core::{ProtocolParams, Replica};
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::{
+    ClientId, Configuration, GovAction, KeyPair, LedgerIdx, MemberDesc, MemberId, ReplicaDesc,
+    ReplicaId, Request, RequestAction, SeqNum, SignedRequest,
+};
+
+/// Build the next configuration: same members plus member 4, who operates
+/// new replica 4.
+fn next_config(genesis: &Configuration) -> (Configuration, KeyPair, KeyPair) {
+    let mut config = genesis.clone();
+    config.number = genesis.number + 1;
+    let member_kp = KeyPair::from_label("member-4");
+    let replica_kp = KeyPair::from_label("replica-4");
+    config.members.push(MemberDesc { id: MemberId(4), key: member_kp.public() });
+    let payload = ReplicaDesc::endorsement_payload(ReplicaId(4), &replica_kp.public());
+    config.replicas.push(ReplicaDesc {
+        id: ReplicaId(4),
+        key: replica_kp.public(),
+        operator: MemberId(4),
+        endorsement: member_kp.sign(&payload),
+    });
+    (config, member_kp, replica_kp)
+}
+
+fn gov_request(
+    member: MemberId,
+    key: &KeyPair,
+    gt_hash: ia_ccf_types::Digest,
+    action: GovAction,
+    req_id: u64,
+) -> SignedRequest {
+    SignedRequest::sign(
+        Request {
+            action: RequestAction::Governance(action),
+            client: ClientId(member.0 as u64),
+            gt_hash,
+            min_index: LedgerIdx(0),
+            req_id,
+        },
+        key,
+    )
+}
+
+#[test]
+fn referendum_reconfigures_and_new_replica_joins() {
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default());
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let client = spec.clients[0].0;
+    let gt = cluster.replica(ReplicaId(0)).gt_hash();
+    let (new_config, _m4, replica4_kp) = next_config(&spec.genesis);
+
+    // Warm up with some app traffic.
+    for _ in 0..3 {
+        cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(3, 100));
+
+    // --- Referendum: propose + votes from 3 members (threshold = 3). ---
+    cluster.submit_raw(
+        ClientId(0),
+        gov_request(
+            MemberId(0),
+            &spec.member_keys[0],
+            gt,
+            GovAction::Propose { proposal_id: 1, new_config: new_config.clone() },
+            1,
+        ),
+    );
+    cluster.round();
+    for m in 0..3u32 {
+        cluster.submit_raw(
+            ClientId(m as u64),
+            gov_request(
+                MemberId(m),
+                &spec.member_keys[m as usize],
+                gt,
+                GovAction::Vote { proposal_id: 1, approve: true },
+                10 + m as u64,
+            ),
+        );
+        cluster.round();
+    }
+
+    // Drive until every original replica activates configuration 1.
+    assert!(
+        cluster.run_until(400, |c| {
+            c.replicas
+                .iter()
+                .filter(|(id, _)| id.0 < 4)
+                .all(|(_, r)| r.inner.active_config().number == 1)
+        }),
+        "configuration 1 never activated: views/configs: {:?}",
+        cluster
+            .replicas
+            .values()
+            .map(|r| (r.inner.view(), r.inner.active_config().number))
+            .collect::<Vec<_>>()
+    );
+
+    // The governance chain served to clients now contains the referendum
+    // and the boundary receipt, and verifies from genesis.
+    let chain_links = cluster.replica(ReplicaId(1)).gov_chain();
+    assert!(
+        chain_links.len() >= 5,
+        "expect propose + 3 votes + boundary, got {}",
+        chain_links.len()
+    );
+    let mut chain = ia_ccf::governance::chain::GovernanceChain::new();
+    for l in chain_links {
+        chain.push(l.clone());
+    }
+    let history = chain.verify(&spec.genesis).expect("governance chain verifies");
+    assert_eq!(history.latest().number, 1);
+    assert_eq!(history.latest().n(), 5);
+
+    // --- A new replica bootstraps from a current ledger and joins. ---
+    let entries = cluster.replica(ReplicaId(0)).ledger().entries().to_vec();
+    let new_replica = Replica::bootstrap(
+        ReplicaId(4),
+        replica4_kp,
+        Arc::new(CounterApp),
+        ProtocolParams::default(),
+        spec.client_keys(),
+        &entries,
+    )
+    .expect("bootstrap replays the ledger");
+    assert_eq!(new_replica.active_config().number, 1);
+    cluster.add_replica(new_replica);
+
+    // --- Post-reconfiguration traffic: client receipts verify across the
+    // boundary via the governance chain (§5.2). ---
+    for _ in 0..5 {
+        cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+        cluster.round();
+    }
+    assert!(
+        cluster.run_until_finished(8, 400),
+        "post-reconfig transactions stalled: finished = {}",
+        cluster.finished.len()
+    );
+    for (_, tx) in &cluster.finished[3..] {
+        let receipt = tx.receipt.as_ref().expect("receipt");
+        // Verified by the client already (under config 1, via the fetched
+        // governance chain); double-check under the new configuration.
+        receipt.verify(history.latest()).expect("receipt valid under config 1");
+    }
+
+    // The new replica executes and stays consistent.
+    assert!(
+        cluster.run_until(200, |c| c.replica(ReplicaId(4)).committed_up_to()
+            >= c.replica(ReplicaId(0)).committed_up_to().minus(2)),
+        "new replica lags: {} vs {}",
+        cluster.replica(ReplicaId(4)).committed_up_to(),
+        cluster.replica(ReplicaId(0)).committed_up_to()
+    );
+    let counter = |r: &Replica| {
+        r.kv()
+            .get(b"k")
+            .map(|v| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+            .unwrap_or(0)
+    };
+    assert_eq!(counter(cluster.replica(ReplicaId(4))), 8);
+    cluster.assert_ledgers_consistent();
+}
+
+#[test]
+fn rejected_referendum_changes_nothing() {
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default());
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let gt = cluster.replica(ReplicaId(0)).gt_hash();
+    let (new_config, _, _) = next_config(&spec.genesis);
+
+    cluster.submit_raw(
+        ClientId(0),
+        gov_request(
+            MemberId(0),
+            &spec.member_keys[0],
+            gt,
+            GovAction::Propose { proposal_id: 9, new_config },
+            1,
+        ),
+    );
+    cluster.round();
+    // Only rejections arrive.
+    for m in 0..4u32 {
+        cluster.submit_raw(
+            ClientId(m as u64),
+            gov_request(
+                MemberId(m),
+                &spec.member_keys[m as usize],
+                gt,
+                GovAction::Vote { proposal_id: 9, approve: false },
+                20 + m as u64,
+            ),
+        );
+        cluster.round();
+    }
+    for _ in 0..20 {
+        cluster.round();
+    }
+    for (_, r) in &cluster.replicas {
+        assert_eq!(r.inner.active_config().number, 0, "no reconfiguration may happen");
+    }
+}
+
+#[test]
+fn non_member_governance_is_ignored() {
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default());
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let gt = cluster.replica(ReplicaId(0)).gt_hash();
+    let (new_config, _, _) = next_config(&spec.genesis);
+    let outsider = KeyPair::from_label("not-a-member");
+
+    cluster.submit_raw(
+        ClientId(99),
+        gov_request(
+            MemberId(99),
+            &outsider,
+            gt,
+            GovAction::Propose { proposal_id: 1, new_config },
+            1,
+        ),
+    );
+    for _ in 0..10 {
+        cluster.round();
+    }
+    for (_, r) in &cluster.replicas {
+        assert_eq!(r.inner.active_config().number, 0);
+        assert_eq!(r.inner.gov_chain().len(), 0, "no governance tx may be recorded");
+    }
+}

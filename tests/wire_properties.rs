@@ -1,0 +1,178 @@
+//! Property tests over the wire codec: every protocol message and ledger
+//! entry round-trips, and decoding never panics on arbitrary bytes
+//! (hostile-input safety for the TCP transport).
+
+use proptest::prelude::*;
+
+use ia_ccf_types::{
+    BatchKind, ClientId, Commit, Digest, LedgerEntry, LedgerIdx, Nonce, NonceCommitment,
+    PrePrepare, PrePrepareCore, Prepare, ProcId, ProtocolMsg, Reply, ReplicaBitmap, ReplicaId,
+    Request, RequestAction, SeqNum, Signature, SignedRequest, TxLedgerEntry, TxResult, View, Wire,
+};
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    any::<[u8; 32]>().prop_map(Digest::from_bytes)
+}
+
+fn arb_sig() -> impl Strategy<Value = Signature> {
+    any::<[u8; 32]>().prop_map(|half| {
+        let mut s = [0u8; 64];
+        s[..32].copy_from_slice(&half);
+        s[32..].copy_from_slice(&half);
+        Signature(s)
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = BatchKind> {
+    prop_oneof![
+        Just(BatchKind::Regular),
+        Just(BatchKind::Checkpoint),
+        (1u32..9).prop_map(|phase| BatchKind::EndOfConfig { phase }),
+        (1u32..5).prop_map(|phase| BatchKind::StartOfConfig { phase }),
+    ]
+}
+
+prop_compose! {
+    fn arb_core()(
+        view in 0u64..1000,
+        seq in 0u64..100_000,
+        root_m in arb_digest(),
+        nonce_commit in arb_digest(),
+        evidence_seq in 0u64..100_000,
+        bitmap in any::<u64>(),
+        gov_index in 0u64..100_000,
+        checkpoint_digest in arb_digest(),
+        kind in arb_kind(),
+        committed_root in proptest::option::of(arb_digest()),
+        primary in 0u32..64,
+    ) -> PrePrepareCore {
+        PrePrepareCore {
+            view: View(view),
+            seq: SeqNum(seq),
+            root_m,
+            nonce_commit: NonceCommitment(nonce_commit),
+            evidence_seq: SeqNum(evidence_seq),
+            evidence_bitmap: ReplicaBitmap(bitmap),
+            gov_index: LedgerIdx(gov_index),
+            checkpoint_digest,
+            kind,
+            committed_root,
+            primary: ReplicaId(primary),
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_request()(
+        proc in any::<u16>(),
+        args in proptest::collection::vec(any::<u8>(), 0..64),
+        client in any::<u64>(),
+        gt in arb_digest(),
+        min_index in 0u64..100_000,
+        req_id in any::<u64>(),
+        sig in arb_sig(),
+    ) -> SignedRequest {
+        SignedRequest {
+            request: Request {
+                action: RequestAction::App { proc: ProcId(proc), args },
+                client: ClientId(client),
+                gt_hash: gt,
+                min_index: LedgerIdx(min_index),
+                req_id,
+            },
+            sig,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn pre_prepare_roundtrips(core in arb_core(), root_g in arb_digest(), sig in arb_sig()) {
+        let pp = PrePrepare { core, root_g, sig };
+        prop_assert_eq!(PrePrepare::from_bytes(&pp.to_bytes()).unwrap(), pp);
+    }
+
+    #[test]
+    fn signed_request_roundtrips(req in arb_request()) {
+        prop_assert_eq!(SignedRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn tx_entry_roundtrips(
+        req in arb_request(),
+        index in 0u64..100_000,
+        ok in any::<bool>(),
+        output in proptest::collection::vec(any::<u8>(), 0..64),
+        ws in arb_digest(),
+    ) {
+        let entry = LedgerEntry::Tx(TxLedgerEntry {
+            request: req,
+            index: LedgerIdx(index),
+            result: TxResult { ok, output, write_set_digest: ws },
+        });
+        prop_assert_eq!(LedgerEntry::from_bytes(&entry.to_bytes()).unwrap(), entry);
+    }
+
+    #[test]
+    fn protocol_messages_roundtrip(
+        core in arb_core(),
+        root_g in arb_digest(),
+        sig in arb_sig(),
+        nonce in any::<[u8; 16]>(),
+        hashes in proptest::collection::vec(arb_digest(), 0..8),
+        req_ids in proptest::collection::vec(any::<u64>(), 0..4),
+    ) {
+        let msgs = vec![
+            ProtocolMsg::PrePrepare {
+                pp: PrePrepare { core: core.clone(), root_g, sig },
+                batch: hashes.clone(),
+            },
+            ProtocolMsg::Prepare(Prepare {
+                view: core.view,
+                seq: core.seq,
+                replica: core.primary,
+                nonce_commit: core.nonce_commit,
+                pp_digest: root_g,
+                sig,
+            }),
+            ProtocolMsg::Commit(Commit {
+                view: core.view,
+                seq: core.seq,
+                replica: core.primary,
+                nonce: Nonce(nonce),
+            }),
+            ProtocolMsg::Reply(Reply {
+                view: core.view,
+                seq: core.seq,
+                replica: core.primary,
+                sig,
+                nonce: Nonce(nonce),
+                req_ids,
+            }),
+            ProtocolMsg::FetchRequests { hashes },
+            ProtocolMsg::FetchEvidence { seq: core.seq },
+        ];
+        for m in msgs {
+            prop_assert_eq!(ProtocolMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    /// Hostile input: decoding arbitrary bytes must error, never panic or
+    /// over-allocate.
+    #[test]
+    fn decoding_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ProtocolMsg::from_bytes(&bytes);
+        let _ = LedgerEntry::from_bytes(&bytes);
+        let _ = SignedRequest::from_bytes(&bytes);
+        let _ = PrePrepare::from_bytes(&bytes);
+    }
+
+    /// Truncation of a valid encoding must error, never panic.
+    #[test]
+    fn truncated_messages_error(core in arb_core(), root_g in arb_digest(), sig in arb_sig(), cut in 0usize..100) {
+        let pp = PrePrepare { core, root_g, sig };
+        let bytes = pp.to_bytes();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(PrePrepare::from_bytes(&bytes[..cut]).is_err());
+    }
+}
