@@ -97,6 +97,10 @@ pub struct ValidatedBatch {
 
 /// The result of validating a package: per-batch views plus the
 /// view-change sets found, for the Lemma 5 case analysis.
+/// One view-change set's report: `(view, senders, reported (seq, Ḡ)
+/// pairs)`.
+pub type ViewChangeReport = (View, Vec<ia_ccf_types::ReplicaId>, Vec<(SeqNum, Digest)>);
+
 #[derive(Debug, Clone, Default)]
 pub struct ValidatedPackage {
     /// Batches ascending by position in the fragment.
@@ -106,8 +110,7 @@ pub struct ValidatedPackage {
     /// Per view-change set: `(view, senders, reported (seq, Ḡ) pairs)` —
     /// the prepared batches the set's members claimed (Lemma 5 needs to
     /// distinguish honest reports from omissions).
-    pub view_change_reports:
-        Vec<(View, Vec<ia_ccf_types::ReplicaId>, Vec<(SeqNum, Digest)>)>,
+    pub view_change_reports: Vec<ViewChangeReport>,
 }
 
 impl ValidatedPackage {

@@ -99,11 +99,11 @@ pub fn run_fabric(
     let keys: Vec<PublicKey> = keypairs.iter().map(|k| k.public()).collect();
 
     let mut handles = Vec::new();
-    for index in 0..n {
+    for (index, keypair) in keypairs.iter().enumerate() {
         let endpoint = bus.register(index as u64);
         let stop = Arc::clone(&stop);
         let committed = Arc::clone(&committed);
-        let keypair = keypairs[index].clone();
+        let keypair = keypair.clone();
         let keys = keys.clone();
         let app = Arc::clone(&app);
         let mut kv = KvStore::new();
@@ -131,7 +131,7 @@ pub fn run_fabric(
                     Some(FabricMsg::Submit(p, endorsements)) if is_orderer => {
                         mempool.push((p, endorsements));
                         if mempool.len() >= block_max {
-                            let block: Vec<_> = mempool.drain(..).collect();
+                            let block: Vec<_> = std::mem::take(&mut mempool);
                             endpoint
                                 .send_many(peer_addrs.iter().copied(), FabricMsg::Block(block.clone()));
                             // The orderer is also a peer: process locally.
@@ -145,7 +145,7 @@ pub fn run_fabric(
                     None => {
                         // Flush partial blocks on idle.
                         if is_orderer && !mempool.is_empty() {
-                            let block: Vec<_> = mempool.drain(..).collect();
+                            let block: Vec<_> = std::mem::take(&mut mempool);
                             endpoint
                                 .send_many(peer_addrs.iter().copied(), FabricMsg::Block(block.clone()));
                             applied += apply_block(&mut kv, &app, &keys, &endpoint, &block);

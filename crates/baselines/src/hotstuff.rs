@@ -284,11 +284,11 @@ pub(crate) fn run_hotstuff_inner(
     let keys: Vec<PublicKey> = keypairs.iter().map(|k| k.public()).collect();
 
     let mut handles = Vec::new();
-    for index in 0..n {
+    for (index, keypair) in keypairs.iter().enumerate() {
         let endpoint = bus.register(index as u64);
         let stop = Arc::clone(&stop);
         let committed = Arc::clone(&committed);
-        let keypair = keypairs[index].clone();
+        let keypair = keypair.clone();
         let keys = keys.clone();
         handles.push(std::thread::spawn(move || {
             let mut node = HsNode {

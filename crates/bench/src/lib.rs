@@ -14,12 +14,7 @@ use std::time::Duration;
 
 use ia_ccf_sim::rt::{run_cluster, RtConfig, RtReport};
 use ia_ccf_sim::ClusterSpec;
-use parking_lot_stub::Mutex;
-
-/// Tiny mutex shim so the bench crate doesn't need parking_lot directly.
-mod parking_lot_stub {
-    pub use std::sync::Mutex;
-}
+use parking_lot::Mutex;
 
 /// Seconds per measured point.
 pub fn bench_secs() -> u64 {
@@ -44,7 +39,7 @@ pub fn smallbank_ops(
     let workloads: Vec<Mutex<ia_ccf_smallbank::Workload>> =
         (0..64).map(|i| Mutex::new(ia_ccf_smallbank::Workload::new(accounts, 1000 + i))).collect();
     Arc::new(move |ci| {
-        let op = workloads[ci % workloads.len()].lock().expect("workload lock").next_op();
+        let op = workloads[ci % workloads.len()].lock().next_op();
         (op.proc, op.args)
     })
 }
@@ -97,10 +92,42 @@ pub fn emit(name: &str, title: &str, rows: &[Row]) {
     let dir = std::path::Path::new("target/experiments");
     let _ = std::fs::create_dir_all(dir);
     let path = dir.join(format!("{name}.json"));
-    if let Ok(json) = serde_json::to_string_pretty(rows) {
-        let _ = std::fs::write(&path, json);
-        println!("[written {}]", path.display());
+    let _ = std::fs::write(&path, rows_to_json(rows));
+    println!("[written {}]", path.display());
+}
+
+/// Render rows as pretty-printed JSON. Hand-rolled because the vendored
+/// serde shim is compile-only (see vendor/README.md).
+fn rows_to_json(rows: &[Row]) -> String {
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
     }
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"label\": \"{}\",\n", escape(&row.label)));
+        out.push_str("    \"metrics\": [\n");
+        for (j, (k, v)) in row.metrics.iter().enumerate() {
+            let v = if v.is_finite() { format!("{v}") } else { "null".to_string() };
+            let comma = if j + 1 < row.metrics.len() { "," } else { "" };
+            out.push_str(&format!("      [\"{}\", {}]{}\n", escape(k), v, comma));
+        }
+        out.push_str("    ]\n");
+        out.push_str(if i + 1 < rows.len() { "  },\n" } else { "  }\n" });
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// Default measured duration.

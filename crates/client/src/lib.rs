@@ -6,8 +6,8 @@
 //! the primary's signature, the backups' prepare signatures, the revealed
 //! nonces, and the Merkle path — and verifies it (Alg. 3) under the
 //! configuration determined by its cached **governance receipt chain**.
-//! Clients never hold the ledger; the chain (genesis + governance receipts
-//! + `P`-th end-of-configuration receipts) is all they need to know the
+//! Clients never hold the ledger; the chain (genesis plus governance
+//! receipts plus `P`-th end-of-configuration receipts) is all they need to know the
 //! valid signing keys at any governance index.
 //!
 //! Like the replica, the client is sans-io: feed messages with

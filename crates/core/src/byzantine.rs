@@ -99,8 +99,12 @@ impl ByzantineReplica {
 pub struct TamperedApp {
     inner: Arc<dyn App>,
     /// Returns `Some(forged_output)` when the call should be tampered.
-    forge: Box<dyn Fn(ProcId, &[u8], ClientId) -> Option<Vec<u8>> + Send + Sync>,
+    forge: ForgeFn,
 }
+
+/// Predicate-and-forgery hook: `Some(forged_output)` replaces the honest
+/// result for matching `(proc, args, client)` calls.
+pub type ForgeFn = Box<dyn Fn(ProcId, &[u8], ClientId) -> Option<Vec<u8>> + Send + Sync>;
 
 impl TamperedApp {
     /// Wrap `inner`, forging calls selected by `forge`.

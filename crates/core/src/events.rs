@@ -20,6 +20,11 @@ pub enum NodeId {
 }
 
 /// One input event.
+///
+/// `Message` dwarfs `Tick`, but inputs are consumed immediately and never
+/// stored in bulk, so boxing the message would only add indirection on
+/// the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Input {
     /// A protocol message from an authenticated peer.

@@ -512,7 +512,7 @@ impl Replica {
             }
             // Checkpoint batches at multiples of C (digest of cp at s − C).
             let c = self.checkpoint_interval();
-            if self.params.checkpoints_enabled && seq.0 % c == 0 && seq.0 >= 2 * c {
+            if self.params.checkpoints_enabled && seq.0.is_multiple_of(c) && seq.0 >= 2 * c {
                 if !self.send_checkpoint_batch(seq) {
                     return;
                 }
@@ -947,7 +947,7 @@ impl Replica {
             self.next_tx_index += 1;
         }
         // Checkpoint after executing a batch at a multiple of C (§3.4).
-        if self.params.checkpoints_enabled && seq.0 % self.checkpoint_interval() == 0 {
+        if self.params.checkpoints_enabled && seq.0.is_multiple_of(self.checkpoint_interval()) {
             self.take_checkpoint(seq);
         }
         Ok(BatchExec { view, kind, txs, tree })

@@ -435,8 +435,9 @@ mod proptests {
         fn matches_snapshot_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
             let mut kv = KvStore::new();
             let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
-            let mut tx_snapshot: Option<HashMap<Vec<u8>, Vec<u8>>> = None;
-            let mut batch_snapshots: Vec<(u64, HashMap<Vec<u8>, Vec<u8>>)> = Vec::new();
+            type Model = HashMap<Vec<u8>, Vec<u8>>;
+            let mut tx_snapshot: Option<Model> = None;
+            let mut batch_snapshots: Vec<(u64, Model)> = Vec::new();
             let mut next_seq = 1u64;
 
             kv.begin_batch(0);

@@ -35,7 +35,7 @@ impl MerklePath {
         let mut len = self.tree_len;
         let mut it = self.siblings.iter();
         while len > 1 {
-            if idx % 2 == 0 {
+            if idx.is_multiple_of(2) {
                 if idx + 1 < len {
                     h = hash_pair(&h, it.next()?);
                 }

@@ -133,7 +133,7 @@ impl MerkleTree {
         let mut len = n as usize;
         let mut lvl = 0;
         while len > 1 {
-            if idx % 2 == 0 {
+            if idx.is_multiple_of(2) {
                 if idx + 1 < len {
                     siblings.push(self.levels[lvl][idx + 1]);
                 }

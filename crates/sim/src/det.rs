@@ -292,8 +292,7 @@ mod tests {
     use ia_ccf_core::ProtocolParams;
 
     fn spec(n: usize, clients: usize) -> ClusterSpec {
-        let mut params = ProtocolParams::default();
-        params.view_timeout_ticks = 20;
+        let params = ProtocolParams { view_timeout_ticks: 20, ..ProtocolParams::default() };
         ClusterSpec::new(n, clients, params)
     }
 
@@ -326,7 +325,7 @@ mod tests {
         }
         assert!(cluster.run_until_finished(10, 200), "only {} finished", cluster.finished.len());
         // The counter must be exactly 10 on every replica (serializable).
-        for (_, r) in &cluster.replicas {
+        for r in cluster.replicas.values() {
             let v = r.inner.kv().get(b"shared").expect("key exists");
             assert_eq!(v, &10u64.to_le_bytes().to_vec());
         }

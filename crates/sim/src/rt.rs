@@ -94,7 +94,7 @@ pub fn run_cluster(
     let mut replica_handles = Vec::new();
     for rank in 0..n {
         let mut replica = spec.build_replica(rank, Arc::clone(&app));
-        if seed_cp.len() > 0 {
+        if !seed_cp.is_empty() {
             replica.prime_kv(&seed_cp);
         }
         let endpoint = bus.register(rank as u64);
@@ -141,12 +141,11 @@ pub fn run_cluster(
                                     ),
                                     Output::SendClient(to, msg) => endpoint
                                         .send(to.0, (NodeId::Replica(replica.id()), msg)),
-                                    Output::Committed { tx_count, .. } => {
-                                        if is_rank0 {
+                                    Output::Committed { tx_count, .. }
+                                        if is_rank0 => {
                                             committed
                                                 .fetch_add(tx_count as u64, Ordering::Relaxed);
                                         }
-                                    }
                                     _ => {}
                                 }
                             }

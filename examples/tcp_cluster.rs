@@ -38,9 +38,9 @@ fn main() {
     // Replica threads: decode frames from the wire, run the state machine,
     // encode outputs back to frames.
     let mut handles = Vec::new();
-    for rank in 0..n {
+    for (rank, node) in nodes.iter().enumerate().take(n) {
         let mut replica = spec.build_replica(rank, Arc::new(CounterApp));
-        let node = Arc::clone(&nodes[rank]);
+        let node = Arc::clone(node);
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
             let mut last_tick = Instant::now();

@@ -15,8 +15,7 @@ use ia_ccf_types::{ReplicaId, SeqNum};
 
 #[test]
 fn honest_view_change_audits_clean() {
-    let mut params = ProtocolParams::default();
-    params.view_timeout_ticks = 15;
+    let params = ProtocolParams { view_timeout_ticks: 15, ..ProtocolParams::default() };
     let spec = ClusterSpec::new(4, 1, params);
     let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
     let client = spec.clients[0].0;
@@ -66,8 +65,7 @@ fn view_change_ledger_still_convicts_wrong_execution() {
     // Same crash scenario, but every replica runs tampered logic: the
     // audit must still convict from the post-view-change ledger.
     use ia_ccf::core::byzantine::TamperedApp;
-    let mut params = ProtocolParams::default();
-    params.view_timeout_ticks = 15;
+    let params = ProtocolParams { view_timeout_ticks: 15, ..ProtocolParams::default() };
     let spec = ClusterSpec::new(4, 1, params);
     let tampered = |_: usize| -> Arc<dyn ia_ccf::core::App> {
         Arc::new(TamperedApp::new(Arc::new(CounterApp), |proc, args, _| {
@@ -99,5 +97,5 @@ fn view_change_ledger_still_convicts_wrong_execution() {
     let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
     let upom = outcome.upom().expect("wrong execution must be found");
     assert_eq!(upom.kind, ia_ccf::audit::UpomKind::WrongExecution);
-    assert!(upom.blamed.len() >= spec.genesis.f() + 1, "blamed: {:?}", upom.blamed);
+    assert!(upom.blamed.len() > spec.genesis.f(), "blamed: {:?}", upom.blamed);
 }

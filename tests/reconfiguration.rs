@@ -11,7 +11,7 @@ use ia_ccf::core::{ProtocolParams, Replica};
 use ia_ccf_sim::{ClusterSpec, DetCluster};
 use ia_ccf_types::{
     ClientId, Configuration, GovAction, KeyPair, LedgerIdx, MemberDesc, MemberId, ReplicaDesc,
-    ReplicaId, Request, RequestAction, SeqNum, SignedRequest,
+    ReplicaId, Request, RequestAction, SignedRequest,
 };
 
 /// Build the next configuration: same members plus member 4, who operates
@@ -209,7 +209,7 @@ fn rejected_referendum_changes_nothing() {
     for _ in 0..20 {
         cluster.round();
     }
-    for (_, r) in &cluster.replicas {
+    for r in cluster.replicas.values() {
         assert_eq!(r.inner.active_config().number, 0, "no reconfiguration may happen");
     }
 }
@@ -235,7 +235,7 @@ fn non_member_governance_is_ignored() {
     for _ in 0..10 {
         cluster.round();
     }
-    for (_, r) in &cluster.replicas {
+    for r in cluster.replicas.values() {
         assert_eq!(r.inner.active_config().number, 0);
         assert_eq!(r.inner.gov_chain().len(), 0, "no governance tx may be recorded");
     }

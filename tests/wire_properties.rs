@@ -175,4 +175,88 @@ proptest! {
         let cut = cut.min(bytes.len().saturating_sub(1));
         prop_assert!(PrePrepare::from_bytes(&bytes[..cut]).is_err());
     }
+
+    /// Hostile input per variant: an arbitrary body behind *every*
+    /// `ProtocolMsg` tag byte (valid tags and invalid ones alike) must
+    /// decode to `Ok` or `Err` — never panic or over-allocate. This
+    /// drives every variant's decoder with garbage, not just whichever
+    /// tags random bytes happen to start with.
+    #[test]
+    fn every_variant_tag_survives_garbage_bodies(
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Tags 0..=16 are the current variants; a few beyond must error.
+        for tag in 0u8..=20 {
+            let mut bytes = Vec::with_capacity(body.len() + 1);
+            bytes.push(tag);
+            bytes.extend_from_slice(&body);
+            let _ = ProtocolMsg::from_bytes(&bytes);
+        }
+    }
+
+    /// Hostile input per variant: byte-level corruption of *valid*
+    /// encodings of every constructible variant must never panic, and a
+    /// successful decode of a corrupted buffer must still be internally
+    /// consistent (re-encoding round-trips).
+    #[test]
+    fn corrupted_valid_encodings_never_panic(
+        core in arb_core(),
+        root_g in arb_digest(),
+        sig in arb_sig(),
+        req in arb_request(),
+        nonce in any::<[u8; 16]>(),
+        hashes in proptest::collection::vec(arb_digest(), 0..4),
+        flip_pos in any::<u64>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let msgs = vec![
+            ProtocolMsg::Request(req.clone()),
+            ProtocolMsg::PrePrepare {
+                pp: PrePrepare { core: core.clone(), root_g, sig },
+                batch: hashes.clone(),
+            },
+            ProtocolMsg::Prepare(Prepare {
+                view: core.view,
+                seq: core.seq,
+                replica: core.primary,
+                nonce_commit: core.nonce_commit,
+                pp_digest: root_g,
+                sig,
+            }),
+            ProtocolMsg::Commit(Commit {
+                view: core.view,
+                seq: core.seq,
+                replica: core.primary,
+                nonce: Nonce(nonce),
+            }),
+            ProtocolMsg::Reply(Reply {
+                view: core.view,
+                seq: core.seq,
+                replica: core.primary,
+                sig,
+                nonce: Nonce(nonce),
+                req_ids: vec![req.request.req_id],
+            }),
+            ProtocolMsg::FetchRequests { hashes: hashes.clone() },
+            ProtocolMsg::FetchRequestsResponse { requests: vec![req.clone()] },
+            ProtocolMsg::FetchLedger { from_seq: core.seq },
+            ProtocolMsg::FetchGovReceipts { from_index: core.gov_index },
+            ProtocolMsg::FetchReceipt { tx_hash: root_g },
+            ProtocolMsg::FetchEvidence { seq: core.seq },
+            ProtocolMsg::FetchEvidenceResponse { prepares: Vec::new(), commits: Vec::new() },
+        ];
+        for msg in msgs {
+            let mut bytes = msg.to_bytes();
+            let pos = (flip_pos as usize) % bytes.len();
+            bytes[pos] ^= flip_mask;
+            if let Ok(decoded) = ProtocolMsg::from_bytes(&bytes) {
+                // A decode that survives corruption must still be a
+                // well-formed message.
+                prop_assert_eq!(
+                    ProtocolMsg::from_bytes(&decoded.to_bytes()).unwrap(),
+                    decoded
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,236 @@
+//! Minimal `criterion` shim: a wall-clock micro-harness.
+//!
+//! Implements the API surface `benches/micro.rs` uses — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros — and reports the mean
+//! time per iteration over a time-budgeted measurement loop. No
+//! statistics beyond mean/min/max; swap in real criterion for rigor.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let name = name.to_string();
+        run_one(self, &name, f);
+    }
+}
+
+/// A named set of benchmarks sharing the criterion config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &label, f);
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &label, |b| f(b, input));
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    mode: Mode,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+enum Mode {
+    WarmUp { budget: Duration },
+    Measure { budget: Duration, samples: u64 },
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing it.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::WarmUp { budget } => {
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    std::hint::black_box(routine());
+                }
+            }
+            Mode::Measure { budget, samples } => {
+                // Calibrate iterations per sample from a single run.
+                let t0 = Instant::now();
+                std::hint::black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let per_sample = (budget.as_nanos() / samples.max(1) as u128)
+                    .checked_div(once.as_nanos())
+                    .unwrap_or(1)
+                    .clamp(1, 1_000_000) as u64;
+                let mut iters = 1u64; // the calibration run counts
+                let mut elapsed = once;
+                for _ in 0..samples {
+                    let s = Instant::now();
+                    for _ in 0..per_sample {
+                        std::hint::black_box(routine());
+                    }
+                    elapsed += s.elapsed();
+                    iters += per_sample;
+                }
+                self.result = Some((elapsed, iters));
+            }
+        }
+    }
+}
+
+fn run_one(criterion: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut warm = Bencher { mode: Mode::WarmUp { budget: criterion.warm_up_time }, result: None };
+    f(&mut warm);
+    let mut bench = Bencher {
+        mode: Mode::Measure {
+            budget: criterion.measurement_time,
+            samples: criterion.sample_size as u64,
+        },
+        result: None,
+    };
+    f(&mut bench);
+    match bench.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:50} {:>12} iters  {:>14}/iter", iters, fmt_ns(per));
+        }
+        _ => println!("{label:50} (no measurement — closure never called iter)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, fn...)` or
+/// the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42, |b, x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,244 @@
+//! Minimal `crossbeam` shim: the `channel` module only.
+
+pub mod channel {
+    //! An unbounded MPMC channel over `Mutex<VecDeque>` + `Condvar`,
+    //! matching the fraction of crossbeam-channel's API this tree uses:
+    //! clonable senders *and* receivers, `send`/`recv`/`try_recv`/
+    //! `recv_timeout`, and disconnection when the last peer drops.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clonable (messages go to whichever receiver pops
+    /// first).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by `send` when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by `recv` when the channel is empty and every
+    /// sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by `recv_timeout`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message; fails when all receivers are dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            self.inner.lock().push_back(msg);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Take (and drop) the queue lock before notifying:
+                // otherwise a receiver that has checked `senders` under
+                // the lock but not yet parked in `wait` would miss this
+                // wakeup and block forever.
+                drop(self.inner.lock());
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pop a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.lock();
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.inner.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.inner.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn timeout_elapses() {
+            let (_tx, rx) = unbounded::<u8>();
+            let t0 = Instant::now();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(t0.elapsed() >= Duration::from_millis(18));
+        }
+
+        #[test]
+        fn drop_while_receiver_blocked_wakes_it() {
+            // Regression: the last Sender dropping must take the queue
+            // lock before notifying, or a receiver mid check-then-wait
+            // misses the wakeup and recv() hangs forever.
+            for _ in 0..50 {
+                let (tx, rx) = unbounded::<u8>();
+                let h = std::thread::spawn(move || rx.recv());
+                std::thread::yield_now();
+                drop(tx);
+                let start = Instant::now();
+                assert_eq!(h.join().unwrap(), Err(RecvError));
+                assert!(start.elapsed() < Duration::from_secs(5));
+            }
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(rx.recv_timeout(Duration::from_secs(2)).unwrap());
+            }
+            h.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Minimal `ed25519-dalek` shim: a real RFC 8032 Ed25519 implementation
+//! (from-scratch curve25519 field/point arithmetic, SHA-512 from the
+//! vendored `sha2`). API-compatible with the fraction of `ed25519-dalek`
+//! v2 this tree uses. Not constant-time — do not reuse outside this
+//! repository's test/benchmark context.
+
+mod field;
+mod point;
+mod scalar;
+
+use point::EdwardsPoint;
+use sha2::{Digest as _, Sha512};
+
+/// Error produced by key parsing and signature verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl std::fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ed25519 signature error")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// Objects that can sign messages.
+pub trait Signer<S> {
+    /// Sign a message.
+    fn sign(&self, msg: &[u8]) -> S;
+}
+
+/// Objects that can verify signatures.
+pub trait Verifier<S> {
+    /// Verify `signature` over `msg`.
+    fn verify(&self, msg: &[u8], signature: &S) -> Result<(), SignatureError>;
+}
+
+/// A detached Ed25519 signature: `R ‖ s`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    bytes: [u8; 64],
+}
+
+impl Signature {
+    /// From the 64-byte wire form.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Signature {
+        Signature { bytes: *bytes }
+    }
+
+    /// To the 64-byte wire form.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.bytes
+    }
+}
+
+/// An Ed25519 private key (with precomputed expanded parts).
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    /// Clamped scalar `a`.
+    a: [u8; 32],
+    /// Second half of `SHA512(seed)`, the deterministic-nonce prefix.
+    prefix: [u8; 32],
+    /// Compressed public point `A = a·B`.
+    public: [u8; 32],
+}
+
+impl SigningKey {
+    /// Derive the key from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_bytes(seed: &[u8; 32]) -> SigningKey {
+        let h = Sha512::digest(seed);
+        let mut a = [0u8; 32];
+        a.copy_from_slice(&h[..32]);
+        a[0] &= 248;
+        a[31] &= 127;
+        a[31] |= 64;
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let public = EdwardsPoint::basepoint().mul_scalar(&a).compress();
+        SigningKey { seed: *seed, a, prefix, public }
+    }
+
+    /// Generate a fresh key from `rng`.
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> SigningKey {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        SigningKey::from_bytes(&seed)
+    }
+
+    /// The seed bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey {
+            bytes: self.public,
+            point: EdwardsPoint::decompress(&self.public).expect("A = a·B is on the curve"),
+        }
+    }
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningKey(..)")
+    }
+}
+
+impl Signer<Signature> for SigningKey {
+    fn sign(&self, msg: &[u8]) -> Signature {
+        // r = H(prefix ‖ M) mod ℓ; R = r·B; k = H(R ‖ A ‖ M) mod ℓ;
+        // s = k·a + r mod ℓ.
+        let mut h = Sha512::new();
+        h.update(self.prefix);
+        h.update(msg);
+        let r = scalar::reduce_bytes(&h.finalize());
+        let big_r = EdwardsPoint::basepoint().mul_scalar(&r).compress();
+
+        let mut h = Sha512::new();
+        h.update(big_r);
+        h.update(self.public);
+        h.update(msg);
+        let k = scalar::reduce_bytes(&h.finalize());
+        let s = scalar::mul_add(&k, &self.a, &r);
+
+        let mut bytes = [0u8; 64];
+        bytes[..32].copy_from_slice(&big_r);
+        bytes[32..].copy_from_slice(&s);
+        Signature { bytes }
+    }
+}
+
+/// An Ed25519 public key.
+#[derive(Clone, Copy)]
+pub struct VerifyingKey {
+    bytes: [u8; 32],
+    point: EdwardsPoint,
+}
+
+impl VerifyingKey {
+    /// Parse a compressed public key; errors when the encoding is not a
+    /// curve point.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<VerifyingKey, SignatureError> {
+        let point = EdwardsPoint::decompress(bytes).ok_or(SignatureError)?;
+        Ok(VerifyingKey { bytes: *bytes, point })
+    }
+
+    /// The compressed 32-byte form.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.bytes
+    }
+}
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey({:02x?})", &self.bytes[..4])
+    }
+}
+
+impl Verifier<Signature> for VerifyingKey {
+    fn verify(&self, msg: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        let mut r_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&signature.bytes[..32]);
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&signature.bytes[32..]);
+
+        // Reject non-canonical s (malleability guard, RFC 8032 §5.1.7).
+        if !scalar::is_canonical(&s_bytes) {
+            return Err(SignatureError);
+        }
+        let big_r = EdwardsPoint::decompress(&r_bytes).ok_or(SignatureError)?;
+
+        let mut h = Sha512::new();
+        h.update(r_bytes);
+        h.update(self.bytes);
+        h.update(msg);
+        let k = scalar::reduce_bytes(&h.finalize());
+
+        // Check s·B == R + k·A.
+        let lhs = EdwardsPoint::basepoint().mul_scalar(&s_bytes);
+        let rhs = big_r.add(&self.point.mul_scalar(&k));
+        if lhs.eq_point(&rhs) {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test1() {
+        let seed: [u8; 32] =
+            unhex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60")
+                .try_into()
+                .unwrap();
+        let expect_pk =
+            unhex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+        let key = SigningKey::from_bytes(&seed);
+        assert_eq!(key.verifying_key().to_bytes().to_vec(), expect_pk);
+
+        let sig = key.sign(b"");
+        let expect_sig = unhex(
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+        );
+        assert_eq!(sig.to_bytes().to_vec(), expect_sig);
+        key.verifying_key().verify(b"", &sig).unwrap();
+    }
+
+    /// RFC 8032 §7.1 TEST 2 (one-byte message).
+    #[test]
+    fn rfc8032_test2() {
+        let seed: [u8; 32] =
+            unhex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb")
+                .try_into()
+                .unwrap();
+        let expect_pk =
+            unhex("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+        let key = SigningKey::from_bytes(&seed);
+        assert_eq!(key.verifying_key().to_bytes().to_vec(), expect_pk);
+        let sig = key.sign(&[0x72]);
+        key.verifying_key().verify(&[0x72], &sig).unwrap();
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_and_rejections() {
+        let key = SigningKey::from_bytes(&[7u8; 32]);
+        let vk = key.verifying_key();
+        let sig = key.sign(b"hello");
+        vk.verify(b"hello", &sig).unwrap();
+        assert!(vk.verify(b"hellp", &sig).is_err());
+
+        let mut tampered = sig.to_bytes();
+        tampered[0] ^= 1;
+        assert!(vk.verify(b"hello", &Signature::from_bytes(&tampered)).is_err());
+
+        let other = SigningKey::from_bytes(&[8u8; 32]);
+        assert!(other.verifying_key().verify(b"hello", &sig).is_err());
+    }
+
+    #[test]
+    fn zero_signature_rejected() {
+        let key = SigningKey::from_bytes(&[1u8; 32]);
+        let zero = Signature::from_bytes(&[0u8; 64]);
+        assert!(key.verifying_key().verify(b"m", &zero).is_err());
+    }
+
+    #[test]
+    fn generated_keys_are_distinct() {
+        let mut rng = rand::rngs::OsRng;
+        let a = SigningKey::generate(&mut rng);
+        let b = SigningKey::generate(&mut rng);
+        assert_ne!(a.verifying_key().to_bytes(), b.verifying_key().to_bytes());
+        let sig = a.sign(b"x");
+        a.verifying_key().verify(b"x", &sig).unwrap();
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let key = SigningKey::from_bytes(&[9u8; 32]);
+        let vk = key.verifying_key();
+        let parsed = VerifyingKey::from_bytes(&vk.to_bytes()).unwrap();
+        let sig = key.sign(b"roundtrip");
+        parsed.verify(b"roundtrip", &sig).unwrap();
+    }
+}

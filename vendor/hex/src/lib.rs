@@ -1,0 +1,33 @@
+//! Minimal `hex` shim: lowercase encoding (and decoding, for symmetry).
+
+/// Encode bytes as a lowercase hex string.
+pub fn encode(data: impl AsRef<[u8]>) -> String {
+    let mut out = String::with_capacity(data.as_ref().len() * 2);
+    for b in data.as_ref() {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decode a hex string; errors on odd length or non-hex characters.
+pub fn decode(s: impl AsRef<[u8]>) -> Result<Vec<u8>, String> {
+    let s = s.as_ref();
+    if s.len() % 2 != 0 {
+        return Err("odd length".into());
+    }
+    let nibble = |c: u8| -> Result<u8, String> {
+        (c as char).to_digit(16).map(|d| d as u8).ok_or_else(|| format!("bad hex char {c:#x}"))
+    };
+    s.chunks(2).map(|p| Ok(nibble(p[0])? << 4 | nibble(p[1])?)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        assert_eq!(super::encode([0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+        assert_eq!(super::decode("deadbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert!(super::decode("xyz").is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! The `Strategy` trait and core combinators.
+
+use crate::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Object-safe core (`generate`) plus `Sized`-gated combinators, so
+/// `Box<dyn Strategy<Value = T>>` works for `prop_oneof!`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop_map` combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy from a generation closure (used by `prop_compose!`).
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F> FnStrategy<F> {
+    /// Wrap a generation function.
+    pub fn new<T>(f: F) -> Self
+    where
+        F: Fn(&mut TestRng) -> T,
+    {
+        FnStrategy { f }
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Weighted union over same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` pairs.
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+        Union { options, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights cover the sampled range")
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+}

@@ -1,0 +1,60 @@
+//! Minimal `rayon` shim: sequential fallback.
+//!
+//! `par_iter()` and friends return ordinary sequential iterators, so all
+//! the adapter chains (`map`, `filter_map`, `enumerate`, `all`, `collect`)
+//! come from `std::iter::Iterator` and behave identically — minus the
+//! parallelism. Swap in the real rayon to restore it.
+
+pub mod prelude {
+    /// `&collection → iterator` — sequential stand-in for `rayon`'s
+    /// `IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type.
+        type Iter: Iterator;
+        /// Iterate (sequentially) over shared references.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `collection → iterator` — sequential stand-in for rayon's
+    /// `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The iterator type.
+        type Iter: Iterator;
+        /// Iterate (sequentially) by value.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_is_sequential_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        assert!(v.par_iter().all(|x| *x > 0));
+    }
+}

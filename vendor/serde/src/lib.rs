@@ -1,0 +1,124 @@
+//! Compile-only `serde` shim.
+//!
+//! Nothing in this workspace performs serde-driven (de)serialization at
+//! runtime — the wire codec is hand-rolled in `ia_ccf_types::wire` — but
+//! many types carry `#[derive(Serialize, Deserialize)]` so they stay
+//! source-compatible with the real serde. This shim keeps those derives
+//! and the few generic helper signatures compiling:
+//!
+//! * `Serialize` / `Deserialize` have blanket impls whose default method
+//!   bodies return an "unsupported" error if ever invoked;
+//! * the derive macros (re-exported from the vendored `serde_derive`)
+//!   expand to nothing;
+//! * `Serializer` / `Deserializer` / `ser::Error` / `de::Error` exist
+//!   with real-serde-shaped signatures.
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization-side error helpers.
+pub mod ser {
+    use super::Display;
+
+    /// Errors a `Serializer` can produce.
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error helpers.
+pub mod de {
+    use super::Display;
+
+    /// Errors a `Deserializer` can produce.
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can serialize values (marker-level).
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+}
+
+/// A data format that can deserialize values (marker-level).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}
+
+/// A value serializable by any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`. The shim's default body reports that runtime
+    /// serialization is unsupported.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let _ = serializer;
+        Err(<S::Error as ser::Error>::custom(
+            "vendored serde shim: runtime serialization is not supported",
+        ))
+    }
+}
+
+/// A value deserializable from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value. The shim's default body reports that runtime
+    /// deserialization is unsupported.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let _ = deserializer;
+        Err(<D::Error as de::Error>::custom(
+            "vendored serde shim: runtime deserialization is not supported",
+        ))
+    }
+}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(test)]
+#[allow(dead_code)] // compile-surface fixtures; nothing reads the fields
+mod tests {
+    // Mirror how the tree uses the shim: derives on structs/enums with
+    // serde field attributes must compile.
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Named {
+        a: u32,
+        #[serde(with = "fake_with")]
+        b: [u8; 64],
+    }
+
+    mod fake_with {
+        use crate::{Deserialize, Deserializer, Serialize, Serializer};
+
+        pub fn serialize<S: Serializer>(v: &[u8; 64], s: S) -> Result<S::Ok, S::Error> {
+            v.as_slice().serialize(s)
+        }
+
+        pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 64], D::Error> {
+            let v: Vec<u8> = Vec::deserialize(d)?;
+            v.try_into().map_err(|_| crate::de::Error::custom("bad length"))
+        }
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Mixed {
+        Unit,
+        Tuple(u8, u16),
+        Struct { x: Vec<u8> },
+    }
+
+    #[test]
+    fn derives_compile() {
+        let _ = Named { a: 1, b: [0; 64] };
+        let _ = Mixed::Unit;
+        let _ = Mixed::Tuple(1, 2);
+        let _ = Mixed::Struct { x: vec![] };
+    }
+}

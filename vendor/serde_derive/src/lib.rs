@@ -1,0 +1,19 @@
+//! No-op `serde_derive` shim.
+//!
+//! The vendored `serde` crate provides blanket impls of its marker-level
+//! `Serialize`/`Deserialize` traits, so the derives only need to accept
+//! the attribute grammar (`#[serde(...)]`) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — expands to nothing (blanket impl applies).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]` — expands to nothing (blanket impl applies).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
