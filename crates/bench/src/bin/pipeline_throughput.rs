@@ -1,0 +1,124 @@
+//! Pipeline throughput baseline: the perf trajectory for the staged
+//! replica hot path.
+//!
+//! Drives a 4-replica deterministic sim cluster (`DetCluster` — single
+//! threaded, so the number measures the *CPU cost of the normal-case
+//! pipeline*: admission, batch verification, execution, Merkle/ledger
+//! appends, reply emission) through N SmallBank batches and writes
+//! `BENCH_pipeline.json` at the repo root with ops/s and p50/p99
+//! per-batch latency. Later PRs must beat the committed numbers.
+//!
+//! Knobs:
+//!
+//! * `PIPELINE_BENCH_QUICK=1` — tiny run for CI smoke (seconds, numbers
+//!   meaningless; written to `target/experiments/pipeline_quick.json` so
+//!   a local smoke run can't clobber the committed baseline);
+//! * `IACCF_ACCOUNTS` — SmallBank account count (default 10 000).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::accounts;
+use ia_ccf_core::ProtocolParams;
+use ia_ccf_sim::metrics::Histogram;
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+
+struct BenchConfig {
+    batches: usize,
+    batch_size: usize,
+    accounts: u64,
+    quick: bool,
+}
+
+fn config() -> BenchConfig {
+    let quick = std::env::var_os("PIPELINE_BENCH_QUICK").is_some();
+    if quick {
+        BenchConfig { batches: 5, batch_size: 20, accounts: 1_000, quick }
+    } else {
+        BenchConfig { batches: 40, batch_size: 100, accounts: accounts(), quick }
+    }
+}
+
+fn main() {
+    let cfg = config();
+    let n_clients = 4;
+    let params = ProtocolParams::default();
+    let spec = ClusterSpec::new(4, n_clients, params)
+        .with_config(|c| c.checkpoint_interval = 10_000);
+    let mut cluster = DetCluster::new(&spec, Arc::new(ia_ccf_smallbank::SmallBankApp));
+
+    // Pre-populate identical SmallBank state on every replica (stands in
+    // for a bulk-load phase; see `Replica::prime_kv`).
+    let mut seed_kv = ia_ccf_kv::KvStore::new();
+    ia_ccf_smallbank::populate(&mut seed_kv, cfg.accounts, 10_000);
+    let cp = seed_kv.checkpoint();
+    let ids: Vec<_> = cluster.replicas.keys().copied().collect();
+    for id in ids {
+        cluster.replicas.get_mut(&id).expect("replica").inner.prime_kv(&cp);
+    }
+
+    let mut workloads: Vec<ia_ccf_smallbank::Workload> = (0..n_clients)
+        .map(|i| ia_ccf_smallbank::Workload::new(cfg.accounts, 7_000 + i as u64))
+        .collect();
+
+    // Warm-up: one small batch outside the measured window.
+    for (ci, w) in workloads.iter_mut().enumerate() {
+        let op = w.next_op();
+        cluster.submit(spec.clients[ci].0, op.proc, op.args);
+    }
+    assert!(cluster.run_until_finished(n_clients, 200), "warm-up stalled");
+    let warmed = cluster.finished.len();
+
+    // Measured run: `batches` rounds of `batch_size` transactions, each
+    // submitted together and driven to receipt completion.
+    let mut batch_lat = Histogram::new();
+    let mut done = warmed;
+    let t0 = Instant::now();
+    for _ in 0..cfg.batches {
+        let tb = Instant::now();
+        for k in 0..cfg.batch_size {
+            let ci = k % n_clients;
+            let op = workloads[ci].next_op();
+            cluster.submit(spec.clients[ci].0, op.proc, op.args);
+        }
+        done += cfg.batch_size;
+        assert!(
+            cluster.run_until_finished(done, 2_000),
+            "batch stalled: {}/{done} finished",
+            cluster.finished.len()
+        );
+        batch_lat.record(tb.elapsed());
+    }
+    let elapsed = t0.elapsed();
+    cluster.assert_ledgers_consistent();
+
+    let total_ops = (cfg.batches * cfg.batch_size) as u64;
+    let ops_s = total_ops as f64 / elapsed.as_secs_f64();
+    let p50_ms = batch_lat.p50_us() as f64 / 1000.0;
+    let p99_ms = batch_lat.p99_us() as f64 / 1000.0;
+
+    println!("\n=== pipeline_throughput (4 replicas, SmallBank) ===");
+    println!(
+        "batches={} batch_size={} accounts={} quick={}",
+        cfg.batches, cfg.batch_size, cfg.accounts, cfg.quick
+    );
+    println!("ops_s={ops_s:.1}  batch_p50_ms={p50_ms:.2}  batch_p99_ms={p99_ms:.2}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"replicas\": 4,\n  \
+         \"batches\": {},\n  \"batch_size\": {},\n  \"accounts\": {},\n  \
+         \"quick\": {},\n  \"ops_per_sec\": {:.1},\n  \"batch_p50_ms\": {:.3},\n  \
+         \"batch_p99_ms\": {:.3}\n}}\n",
+        cfg.batches, cfg.batch_size, cfg.accounts, cfg.quick, ops_s, p50_ms, p99_ms
+    );
+    // Quick-mode numbers are meaningless — never overwrite the committed
+    // repo-root baseline with them.
+    let path = if cfg.quick {
+        let _ = std::fs::create_dir_all("target/experiments");
+        "target/experiments/pipeline_quick.json"
+    } else {
+        "BENCH_pipeline.json"
+    };
+    std::fs::write(path, json).expect("write bench json");
+    println!("[written {path}]");
+}

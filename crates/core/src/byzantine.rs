@@ -39,6 +39,11 @@ pub enum Fault {
     /// Receipt verification catches this: the forged leaf breaks the
     /// recomputed `Ḡ` and the primary-signature check fails.
     CorruptReplyX,
+    /// Suppress outbound commit messages (the revealed nonces): batches
+    /// execute and prepare but can never commit. Applied cluster-wide
+    /// this freezes the committed frontier with a live executed pipeline
+    /// — the setup for the pipelined-batch view-change rollback tests.
+    DropCommits,
 }
 
 /// A replica wrapper that applies a [`Fault`] to the outputs of an
@@ -85,6 +90,16 @@ impl ByzantineReplica {
                         Output::SendClient(c, ProtocolMsg::ReplyX(rx))
                     }
                     other => other,
+                })
+                .collect(),
+            Fault::DropCommits => outs
+                .into_iter()
+                .filter(|o| {
+                    !matches!(
+                        o,
+                        Output::BroadcastReplicas(ProtocolMsg::Commit(_))
+                            | Output::SendReplica(_, ProtocolMsg::Commit(_))
+                    )
                 })
                 .collect(),
         }

@@ -31,6 +31,7 @@ pub mod checkpoint;
 pub mod events;
 pub mod msgstore;
 pub mod params;
+pub mod pipeline;
 pub mod reconfig;
 pub mod replica;
 pub mod viewchange;

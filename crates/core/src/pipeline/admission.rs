@@ -1,0 +1,168 @@
+//! Pipeline stage 1 — admission (Alg. 1 lines 1–3).
+//!
+//! Requests enter here: `verify(t)` checks the service binding `H(gt)`
+//! and membership at admission, dedupes against the pool and the
+//! executed set, and queues the request for ordering. Client *signature*
+//! checks on app requests are deferred to batch time (§3.4: "Signature
+//! verification is parallelized for messages received from replicas and
+//! clients"): [`Replica::ensure_batch_verified`] hands the whole batch to
+//! [`ia_ccf_crypto::verify_batch_indices`] as a single job slice — one
+//! parallel verification pass per pre-prepare, not one closure per
+//! request. Out-of-order pre-prepares waiting for request bodies are
+//! stashed here too.
+
+use ia_ccf_crypto::VerifyJob;
+use ia_ccf_types::{Digest, PrePrepare, RequestAction, SignedRequest};
+
+use crate::replica::Replica;
+
+impl Replica {
+    pub(crate) fn on_request(&mut self, req: SignedRequest) {
+        if !self.verify_request(&req) {
+            return;
+        }
+        self.admit_request(req);
+        // Note pending work for the liveness timer.
+        if !self.pending_reqs.is_empty() && self.last_progress_tick == 0 {
+            self.last_progress_tick = self.tick;
+        }
+    }
+
+    /// `verify(t)`: service binding and membership at admission. Client
+    /// signature checks on app requests are *deferred* to batch time and
+    /// verified in parallel (§3.4).
+    pub(crate) fn verify_request(&self, req: &SignedRequest) -> bool {
+        if req.request.gt_hash != self.gt_hash {
+            return false;
+        }
+        match &req.request.action {
+            RequestAction::System(_) => false, // never accepted from the network
+            RequestAction::Governance(_) => {
+                let member = ia_ccf_governance::chain::member_of(req);
+                match self.gov.active().member_key(member) {
+                    Some(key) => req.verify_with(key),
+                    None => false,
+                }
+            }
+            RequestAction::App { .. } => {
+                !self.params.verify_client_sigs
+                    || self.client_keys.contains_key(&req.request.client)
+            }
+        }
+    }
+
+    /// Batch-verify the client signatures of `requests`, caching
+    /// successes. The batch's unverified app requests become one
+    /// [`VerifyJob`] slice handed to the shared parallel verifier
+    /// (§3.4). Returns false when any signature is invalid or unkeyed.
+    pub(crate) fn ensure_batch_verified(&mut self, requests: &[SignedRequest]) -> bool {
+        if !self.params.verify_client_sigs {
+            return true;
+        }
+        let mut all_ok = true;
+        let mut digests: Vec<Digest> = Vec::new();
+        let mut jobs: Vec<VerifyJob> = Vec::new();
+        for r in requests {
+            if !matches!(r.request.action, RequestAction::App { .. }) {
+                continue;
+            }
+            let digest = r.digest();
+            if self.verified_reqs.contains(&digest) {
+                continue;
+            }
+            match self.client_keys.get(&r.request.client) {
+                Some(key) => {
+                    digests.push(digest);
+                    jobs.push(VerifyJob {
+                        key: *key,
+                        msg: r.request.signing_payload(),
+                        sig: r.sig,
+                    });
+                }
+                None => all_ok = false,
+            }
+        }
+        if jobs.is_empty() {
+            return all_ok;
+        }
+        let mut failed = ia_ccf_crypto::verify_batch_indices(&jobs);
+        failed.sort_unstable();
+        let mut next_failure = failed.iter().peekable();
+        for (i, digest) in digests.iter().enumerate() {
+            if next_failure.peek() == Some(&&i) {
+                next_failure.next();
+                all_ok = false;
+            } else {
+                self.verified_reqs.insert(*digest);
+            }
+        }
+        all_ok
+    }
+
+    pub(crate) fn admit_request(&mut self, req: SignedRequest) {
+        let digest = req.digest();
+        if self.executed_reqs.contains(&digest) || self.req_store.contains_key(&digest) {
+            // Already known. If executed and committed, re-serve the reply.
+            return;
+        }
+        self.req_store.insert(digest, req);
+        self.pending_reqs.push_back(digest);
+    }
+
+    /// Pop up to `batch_max` orderable requests, stopping after a
+    /// governance transaction (a correct primary ends the batch there,
+    /// §B.2), and deferring requests whose `min_index` is not yet
+    /// satisfiable.
+    pub(crate) fn take_eligible_requests(&mut self) -> Vec<Digest> {
+        let mut taken = Vec::new();
+        let mut deferred = Vec::new();
+        let mut projected_index = self.next_tx_index;
+        while taken.len() < self.params.batch_max {
+            let Some(digest) = self.pending_reqs.pop_front() else {
+                break;
+            };
+            let Some(req) = self.req_store.get(&digest) else {
+                continue;
+            };
+            if self.executed_reqs.contains(&digest) {
+                continue;
+            }
+            if req.request.min_index.0 > projected_index {
+                deferred.push(digest);
+                continue;
+            }
+            let is_gov = req.is_governance();
+            taken.push(digest);
+            projected_index += 1;
+            if is_gov {
+                break;
+            }
+        }
+        for d in deferred.into_iter().rev() {
+            self.pending_reqs.push_front(d);
+        }
+        taken
+    }
+
+    pub(crate) fn stash_pp(&mut self, pp: PrePrepare, batch: Vec<Digest>) {
+        if self.stashed_pps.iter().any(|(p, _)| p.seq() == pp.seq() && p.view() == pp.view()) {
+            return;
+        }
+        if self.stashed_pps.len() < 1024 {
+            self.stashed_pps.push((pp, batch));
+        }
+    }
+
+    pub(crate) fn retry_stashed(&mut self) {
+        if self.stashed_pps.is_empty() {
+            return;
+        }
+        let stashed = std::mem::take(&mut self.stashed_pps);
+        for (pp, batch) in stashed {
+            if pp.seq() >= self.seq_next && pp.view() == self.view {
+                let sender = pp.core.primary;
+                self.on_pre_prepare(sender, pp, batch);
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Pipeline stage 4 — emission (Alg. 1 lines 34–38, §3.3, §5.2).
+//!
+//! Everything that leaves the replica for clients once a batch prepares
+//! or commits: one `reply` per client per batch listing its request ids,
+//! the result-carrying `replyx` from the designated replica (rank
+//! `H(t) mod N`), governance receipts chained for auditors (§5.2), and
+//! the fetch-serving paths (receipt re-fetch, evidence, ledger ranges)
+//! that let slow clients and recovering replicas catch up.
+
+use std::collections::BTreeMap;
+
+use ia_ccf_governance::chain::GovLink;
+use ia_ccf_types::{
+    BatchCertificate, BatchKind, ClientId, Commit, Digest, LedgerIdx, Nonce, Prepare,
+    ProtocolMsg, Receipt, ReceiptBody, Reply, ReplyX, ReplicaBitmap, ReplicaId, SeqNum,
+    TxWitness, View,
+};
+
+use crate::replica::Replica;
+
+impl Replica {
+    pub(crate) fn send_replies(&mut self, seq: SeqNum, view: View) {
+        let Some(exec) = self.batch_exec.get(&seq) else {
+            return;
+        };
+        let Some(slot) = self.msgs.slot(seq, view) else {
+            return;
+        };
+        let Some((pp, _)) = slot.pp.clone() else {
+            return;
+        };
+        let i_am_primary = pp.core.primary == self.id;
+        let my_sig = if i_am_primary {
+            pp.sig
+        } else {
+            match slot.prepares.get(&self.id) {
+                Some(p) => p.sig,
+                None => return,
+            }
+        };
+        let nonce = self.my_nonces[&(view.0, seq.0)];
+        let exec = exec.clone();
+
+        if self.params.peer_review {
+            // PeerReview signs a reply per *transaction* (§6.1) — model the
+            // signature cost.
+            for et in &exec.txs {
+                let _ = self.keypair.sign(et.result.digest().as_ref());
+            }
+        }
+
+        // One reply per client per batch, listing that client's request
+        // ids (§3.3).
+        let mut per_client: BTreeMap<ClientId, Vec<u64>> = BTreeMap::new();
+        for et in &exec.txs {
+            if et.client == ClientId(0) {
+                continue; // system transaction
+            }
+            let req_id = self
+                .req_store
+                .get(&et.request_digest)
+                .map(|r| r.request.req_id)
+                .unwrap_or(0);
+            per_client.entry(et.client).or_default().push(req_id);
+        }
+        for (client, req_ids) in per_client {
+            self.send_client(
+                client,
+                ProtocolMsg::Reply(Reply {
+                    view,
+                    seq,
+                    replica: self.id,
+                    sig: my_sig,
+                    nonce,
+                    req_ids,
+                }),
+            );
+        }
+        for (pos, et) in exec.txs.iter().enumerate() {
+            if et.client == ClientId(0) {
+                continue;
+            }
+            if self.params.issue_receipts && self.is_designated(&et.request_digest) {
+                // Leaves were appended in tx order, so the enumeration
+                // index IS the leaf position.
+                let path = exec.tree.path(pos as u64).expect("leaf exists");
+                self.send_client(
+                    et.client,
+                    ProtocolMsg::ReplyX(ReplyX {
+                        core: pp.core.clone(),
+                        primary_sig: pp.sig,
+                        tx_hash: et.request_digest,
+                        index: et.index,
+                        result: et.result.clone(),
+                        path,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// The designated replyx replica for a request: rank `H(t) mod N`
+    /// ("chosen based on t", §3.3).
+    pub(crate) fn is_designated(&self, tx_hash: &Digest) -> bool {
+        let config = self.gov.active();
+        let rank = (u64::from_le_bytes(tx_hash.as_ref()[..8].try_into().unwrap())
+            % config.n() as u64) as usize;
+        config.replica_at_rank(rank).map(|r| r.id) == Some(self.id)
+    }
+
+    // ------------------------------------------------------------------
+    // Governance receipts (§5.2).
+    // ------------------------------------------------------------------
+
+    /// The batch certificate for a committed batch, assembled from the
+    /// message store — the same data clients assemble from replies.
+    pub fn build_batch_certificate(&self, seq: SeqNum, view: View) -> Option<BatchCertificate> {
+        let dbg = std::env::var_os("IACCF_DEBUG").is_some();
+        let Some(slot) = self.msgs.slot(seq, view) else {
+            if dbg { eprintln!("[{}] cert {seq}: no slot at {view}", self.id); }
+            return None;
+        };
+        let Some((pp, _)) = slot.pp.as_ref() else {
+            if dbg { eprintln!("[{}] cert {seq}: no pp (prepares={} commits={})", self.id, slot.prepares.len(), slot.commits.len()); }
+            return None;
+        };
+        let config = self.config_for_seq(seq).clone();
+        let config = &config;
+        let quorum = config.quorum();
+        let nonces_by_replica: BTreeMap<ReplicaId, Nonce> =
+            self.valid_commit_nonces(seq, view).into_iter().collect();
+        let ppd = slot.pp_digest?;
+        let primary = pp.core.primary;
+        if !nonces_by_replica.contains_key(&primary) {
+            if dbg {
+                eprintln!(
+                    "[{}] cert {seq}: primary nonce missing (commits from {:?})",
+                    self.id,
+                    slot.commits.keys().collect::<Vec<_>>()
+                );
+            }
+            return None;
+        }
+        let mut chosen = vec![primary];
+        for (r, prep) in &slot.prepares {
+            if chosen.len() >= quorum {
+                break;
+            }
+            if *r != primary && prep.pp_digest == ppd && nonces_by_replica.contains_key(r) {
+                chosen.push(*r);
+            }
+        }
+        if chosen.len() < quorum {
+            if dbg {
+                eprintln!(
+                    "[{}] cert {seq}: chosen {}/{quorum} (prepares from {:?}, nonces from {:?})",
+                    self.id,
+                    chosen.len(),
+                    slot.prepares.keys().collect::<Vec<_>>(),
+                    nonces_by_replica.keys().collect::<Vec<_>>(),
+                );
+            }
+            return None;
+        }
+        chosen.sort_unstable();
+        let mut signers = ReplicaBitmap::empty();
+        let mut prepare_sigs = Vec::new();
+        let mut nonces = Vec::new();
+        for r in &chosen {
+            signers.set(config.rank_of(*r)?);
+            nonces.push(nonces_by_replica[r]);
+            if *r != primary {
+                prepare_sigs.push(slot.prepares[r].sig);
+            }
+        }
+        Some(BatchCertificate {
+            core: pp.core.clone(),
+            primary_sig: pp.sig,
+            signers,
+            prepare_sigs,
+            nonces,
+        })
+    }
+
+    pub(crate) fn build_gov_receipts(&mut self, seq: SeqNum, view: View) {
+        if !self.params.issue_receipts || !self.params.ledger_enabled {
+            return;
+        }
+        let dbg = std::env::var_os("IACCF_DEBUG").is_some();
+        let Some(exec) = self.batch_exec.get(&seq) else {
+            if dbg {
+                eprintln!("[{}] gov_receipts {seq}: no batch_exec", self.id);
+            }
+            return;
+        };
+        let has_gov_tx = exec.txs.iter().any(|t| t.is_governance);
+        let p = self.pipeline_depth() as u32;
+        let is_boundary = matches!(exec.kind, BatchKind::EndOfConfig { phase } if phase == p || phase == 2 * p);
+        if !has_gov_tx && !is_boundary {
+            return;
+        }
+        let Some(cert) = self.build_batch_certificate(seq, view) else {
+            if dbg {
+                eprintln!("[{}] gov_receipts {seq}: certificate deferred", self.id);
+            }
+            if !self.pending_gov_receipts.contains(&(seq, view)) {
+                self.pending_gov_receipts.push((seq, view));
+            }
+            return;
+        };
+        let exec = exec.clone();
+        for (pos, et) in exec.txs.iter().enumerate() {
+            if !et.is_governance {
+                continue;
+            }
+            let receipt = Receipt {
+                cert: cert.clone(),
+                body: ReceiptBody::Tx(TxWitness {
+                    tx_hash: et.request_digest,
+                    index: et.index,
+                    result: et.result.clone(),
+                    path: exec.tree.path(pos as u64).expect("leaf exists"),
+                }),
+            };
+            let request = self.req_store.get(&et.request_digest).cloned();
+            if let Some(request) = request {
+                self.insert_gov_link(GovLink::GovTx { request, receipt });
+            }
+        }
+        if let BatchKind::EndOfConfig { phase } = exec.kind {
+            if phase == p {
+                self.insert_gov_link(GovLink::Boundary {
+                    receipt: Receipt {
+                        cert: cert.clone(),
+                        body: ReceiptBody::Batch { root_g: Digest::zero() },
+                    },
+                });
+            }
+        }
+    }
+
+    /// Insert a governance link keeping the chain in ledger order (deferred
+    /// certificates can complete out of order).
+    fn insert_gov_link(&mut self, link: GovLink) {
+        let key = |l: &GovLink| {
+            let r = l.receipt();
+            (r.seq(), r.tx_index().map(|i| i.0).unwrap_or(u64::MAX))
+        };
+        let k = key(&link);
+        if self.gov_chain.iter().any(|l| key(l) == k) {
+            return; // already present (retry after partial completion)
+        }
+        let pos = self.gov_chain.partition_point(|l| key(l) <= k);
+        self.gov_chain.insert(pos, link);
+    }
+
+    /// Retry deferred governance receipts (called when new commits arrive).
+    pub(crate) fn retry_pending_gov_receipts(&mut self) {
+        if self.pending_gov_receipts.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_gov_receipts);
+        for (seq, view) in pending {
+            self.build_gov_receipts(seq, view);
+        }
+    }
+
+    pub(crate) fn serve_gov_receipts(&mut self, client: ClientId, _from_index: LedgerIdx) {
+        // Serve the full chain; clients dedupe. Chains are small (§6.4).
+        let receipts = self
+            .gov_chain
+            .iter()
+            .map(|l| match l {
+                GovLink::GovTx { request, receipt } => {
+                    (Some(request.clone()), receipt.clone())
+                }
+                GovLink::Boundary { receipt } => (None, receipt.clone()),
+            })
+            .collect();
+        self.send_client(client, ProtocolMsg::GovReceipts { receipts });
+    }
+
+    pub(crate) fn serve_receipt_refetch(&mut self, client: ClientId, tx_hash: Digest) {
+        // Find the batch containing the request and re-send reply + replyx.
+        for (seq, exec) in self.batch_exec.iter() {
+            if let Some(pos) = exec.txs.iter().position(|t| t.request_digest == tx_hash) {
+                let et = &exec.txs[pos];
+                let view = exec.view;
+                let Some(slot) = self.msgs.slot(*seq, view) else {
+                    return;
+                };
+                let Some((pp, _)) = slot.pp.clone() else {
+                    return;
+                };
+                let my_sig = if pp.core.primary == self.id {
+                    pp.sig
+                } else {
+                    match slot.prepares.get(&self.id) {
+                        Some(p) => p.sig,
+                        None => return,
+                    }
+                };
+                let Some(nonce) = self.my_nonces.get(&(view.0, seq.0)).copied() else {
+                    return;
+                };
+                let reply = Reply {
+                    view,
+                    seq: *seq,
+                    replica: self.id,
+                    sig: my_sig,
+                    nonce,
+                    req_ids: vec![self
+                        .req_store
+                        .get(&tx_hash)
+                        .map(|r| r.request.req_id)
+                        .unwrap_or(0)],
+                };
+                let replyx = ReplyX {
+                    core: pp.core.clone(),
+                    primary_sig: pp.sig,
+                    tx_hash,
+                    index: et.index,
+                    result: et.result.clone(),
+                    path: exec.tree.path(pos as u64).expect("leaf exists"),
+                };
+                self.send_client(client, ProtocolMsg::Reply(reply));
+                self.send_client(client, ProtocolMsg::ReplyX(replyx));
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch serving (view-change sync, bootstrap).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn serve_evidence_fetch(&mut self, sender: ReplicaId, seq: SeqNum) {
+        let Some(&view) = self.prepared_view.get(&seq) else {
+            return;
+        };
+        let Some(slot) = self.msgs.slot(seq, view) else {
+            return;
+        };
+        let prepares: Vec<Prepare> = slot.prepares.values().cloned().collect();
+        let commits: Vec<Commit> = slot
+            .commits
+            .iter()
+            .map(|(r, n)| Commit { view, seq, replica: *r, nonce: *n })
+            .collect();
+        self.send_replica(sender, ProtocolMsg::FetchEvidenceResponse { prepares, commits });
+    }
+
+    pub(crate) fn serve_ledger_fetch(&mut self, sender: ReplicaId, from_seq: SeqNum) {
+        let from_pos = self
+            .batch_ledger_pos
+            .range(from_seq..)
+            .next()
+            .map(|(_, pos)| *pos)
+            .unwrap_or(self.ledger.len());
+        let entries = self.ledger.encode_range(LedgerIdx(from_pos), LedgerIdx(self.ledger.len()));
+        self.send_replica(sender, ProtocolMsg::FetchLedgerResponse { entries });
+    }
+}

@@ -1,0 +1,244 @@
+//! Pipeline stage 3 — batch execution (Alg. 1 lines 19–26, Lemma 1/2).
+//!
+//! Early execution: the primary executes a batch *before* consensus and
+//! proposes the resulting Merkle root `Ḡ` inside the signed pre-prepare;
+//! backups re-execute and must reproduce it bit-for-bit or reject. All
+//! per-request costs are amortized across the batch (§3.4): the KV layer
+//! opens one batch scope, the result leaves are collected and absorbed
+//! into `Ḡ` with one [`MerkleTree::extend`] pass, and the caller appends
+//! the batch's ledger entries with one [`ia_ccf_ledger::Ledger::append_batch`]
+//! reservation. Every executed batch leaves a [`BatchMark`] so a view
+//! change can roll it back (Lemma 1) and re-execute it identically.
+
+use ia_ccf_crypto::{Digest, Hasher};
+use ia_ccf_governance::chain::{GOV_OUTPUT_PASSED, GOV_OUTPUT_RECORDED};
+use ia_ccf_governance::GovOutcome;
+use ia_ccf_merkle::MerkleTree;
+use ia_ccf_types::{
+    BatchKind, ClientId, LedgerIdx, RequestAction, SeqNum, SignedRequest, SystemOp, TxResult,
+    View,
+};
+
+use crate::checkpoint::CheckpointRecord;
+use crate::events::Output;
+use crate::replica::Replica;
+
+/// Result of executing one transaction, plus the bookkeeping needed for
+/// replies and receipts.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecTx {
+    pub request_digest: Digest,
+    pub client: ClientId,
+    pub index: LedgerIdx,
+    pub result: TxResult,
+    pub is_governance: bool,
+}
+
+/// Everything remembered about an executed (possibly not yet committed)
+/// batch.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchExec {
+    pub view: View,
+    pub kind: BatchKind,
+    pub txs: Vec<ExecTx>,
+    pub tree: MerkleTree,
+}
+
+/// Rollback information for a batch (Lemma 1).
+///
+/// Carries a snapshot of the governance state: `gov.apply` mutates
+/// proposals *during* execution and configuration activation mutates the
+/// active config, so rolling a batch back must restore both — otherwise
+/// a re-executed governance transaction hits its own earlier side effects
+/// (duplicate proposal / unknown proposal) and diverges from what an
+/// auditor replaying the ledger from genesis computes. The snapshot is an
+/// `Arc` maintained copy-on-write (`Replica::gov_snapshot` is refreshed
+/// only when governance actually mutates), so gov-free batches pay one
+/// refcount bump, not a deep configuration clone.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchMark {
+    pub ledger_len_before: u64,
+    pub tx_index_before: u64,
+    pub gov_index_before: LedgerIdx,
+    pub gov_before: std::sync::Arc<ia_ccf_governance::GovernanceState>,
+}
+
+/// Why a batch could not be executed/accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ExecError {
+    MinIndexViolated,
+    CheckpointMismatch,
+    GovNotLast,
+    KindMismatch,
+}
+
+impl Replica {
+    pub(crate) fn execute_batch(
+        &mut self,
+        seq: SeqNum,
+        view: View,
+        kind: BatchKind,
+        requests: &[SignedRequest],
+    ) -> Result<BatchExec, ExecError> {
+        self.kv.begin_batch(seq.0);
+        let mut txs = Vec::with_capacity(requests.len());
+        let mut leaves = Vec::with_capacity(requests.len());
+        for (pos, req) in requests.iter().enumerate() {
+            let is_gov = req.is_governance();
+            if is_gov && pos != requests.len() - 1 {
+                return Err(ExecError::GovNotLast);
+            }
+            let index = LedgerIdx(self.next_tx_index);
+            if req.request.min_index.0 > index.0 {
+                return Err(ExecError::MinIndexViolated);
+            }
+            let result = self.execute_one(seq, req)?;
+            if is_gov && result.ok {
+                self.last_gov_index = index;
+            }
+            leaves.push(ia_ccf_types::entry::g_leaf_hash(&req.digest(), index, &result));
+            txs.push(ExecTx {
+                request_digest: req.digest(),
+                client: req.request.client,
+                index,
+                result,
+                is_governance: is_gov,
+            });
+            self.next_tx_index += 1;
+        }
+        // One bulk pass builds `Ḡ` (batch amortization, §3.4).
+        let tree = MerkleTree::from_leaves(leaves);
+        // Checkpoint after executing a batch at a multiple of C (§3.4).
+        if self.params.checkpoints_enabled && seq.0.is_multiple_of(self.checkpoint_interval()) {
+            self.take_checkpoint(seq);
+        }
+        Ok(BatchExec { view, kind, txs, tree })
+    }
+
+    fn execute_one(&mut self, _seq: SeqNum, req: &SignedRequest) -> Result<TxResult, ExecError> {
+        self.kv.begin_tx().expect("no nested tx");
+        match &req.request.action {
+            RequestAction::App { proc, args } => {
+                match self.app.execute(&mut self.kv, *proc, args, req.request.client) {
+                    Ok(output) => {
+                        let ws = self.kv.commit_tx().expect("tx open");
+                        Ok(TxResult { ok: true, output, write_set_digest: ws.digest() })
+                    }
+                    Err(e) => {
+                        self.kv.abort_tx().expect("tx open");
+                        Ok(TxResult {
+                            ok: false,
+                            output: e.0.into_bytes(),
+                            write_set_digest: Digest::zero(),
+                        })
+                    }
+                }
+            }
+            RequestAction::Governance(action) => {
+                let member = ia_ccf_governance::chain::member_of(req);
+                match self.gov.apply(member, action) {
+                    Ok(outcome) => {
+                        // Governance mutated: refresh the copy-on-write
+                        // rollback snapshot (Err paths never mutate).
+                        self.gov_snapshot = std::sync::Arc::new(self.gov.clone());
+                        // Mirror governance state into the store so
+                        // checkpoints capture it (replay needs it).
+                        let snapshot = self.gov_state_snapshot();
+                        self.kv
+                            .put(b"\x00gov_state".to_vec(), snapshot)
+                            .expect("tx open");
+                        let ws = self.kv.commit_tx().expect("tx open");
+                        let output = match &outcome {
+                            GovOutcome::Recorded => GOV_OUTPUT_RECORDED.to_vec(),
+                            GovOutcome::ReferendumPassed(_) => GOV_OUTPUT_PASSED.to_vec(),
+                        };
+                        if let GovOutcome::ReferendumPassed(new_config) = outcome {
+                            self.begin_reconfig(*new_config, _seq);
+                        }
+                        Ok(TxResult { ok: true, output, write_set_digest: ws.digest() })
+                    }
+                    Err(e) => {
+                        self.kv.abort_tx().expect("tx open");
+                        Ok(TxResult {
+                            ok: false,
+                            output: e.to_string().into_bytes(),
+                            write_set_digest: Digest::zero(),
+                        })
+                    }
+                }
+            }
+            RequestAction::System(SystemOp::CheckpointMark { checkpoint_seq, kv_digest, .. }) => {
+                self.kv.commit_tx().expect("tx open");
+                if !self.params.checkpoints_enabled {
+                    return Ok(TxResult {
+                        ok: true,
+                        output: Vec::new(),
+                        write_set_digest: Digest::zero(),
+                    });
+                }
+                match self.cp_digests.get(checkpoint_seq) {
+                    Some(own) if own == kv_digest => Ok(TxResult {
+                        ok: true,
+                        output: Vec::new(),
+                        write_set_digest: Digest::zero(),
+                    }),
+                    _ => Err(ExecError::CheckpointMismatch),
+                }
+            }
+        }
+    }
+
+    /// Serialize governance state (active config digest + open proposals)
+    /// for the KV mirror. Deterministic across replicas.
+    fn gov_state_snapshot(&self) -> Vec<u8> {
+        let mut h = Hasher::new();
+        h.update(self.gov.active().digest());
+        for p in self.gov.proposals() {
+            h.update(p.proposer.0.to_le_bytes());
+            h.update(p.id.to_le_bytes());
+            h.update(p.new_config.digest());
+            for m in &p.approvals {
+                h.update(m.0.to_le_bytes());
+            }
+        }
+        h.finalize().as_ref().to_vec()
+    }
+
+    pub(crate) fn take_checkpoint(&mut self, seq: SeqNum) {
+        let record = CheckpointRecord {
+            seq,
+            kv: self.kv.checkpoint(),
+            frontier: self.ledger.frontier(),
+            ledger_len: self.ledger.len(),
+            next_tx_index: self.next_tx_index,
+        };
+        let digest = record.kv.digest();
+        self.cp_digests.insert(seq, digest);
+        self.checkpoints.insert(record);
+        self.out.push(Output::CheckpointTaken { seq, kv_digest: digest });
+        // Prune digests older than two intervals before the checkpoint.
+        let keep_from = seq.0.saturating_sub(4 * self.checkpoint_interval());
+        self.cp_digests.retain(|s, _| s.0 >= keep_from || s.0 == 0);
+    }
+
+    pub(crate) fn rollback_batch(&mut self, seq: SeqNum, mark: &BatchMark) {
+        let _ = self.kv.rollback_to_batch(seq.0);
+        self.ledger.truncate_to(mark.ledger_len_before);
+        self.next_tx_index = mark.tx_index_before;
+        self.last_gov_index = mark.gov_index_before;
+        // Governance side effects (proposals recorded/voted, activations)
+        // from this batch onward are undone with the snapshot; a
+        // configuration that first took effect after the rolled-back
+        // point loses its history entry too.
+        self.gov = (*mark.gov_before).clone();
+        self.gov_snapshot = std::sync::Arc::clone(&mark.gov_before);
+        self.config_first_seq.retain(|(first, _)| first.0 <= seq.0);
+        // A rolled-back batch can't have passed a referendum anymore.
+        if let Some(rc) = &self.reconfig {
+            if rc.vote_seq >= seq {
+                self.reconfig = None;
+            }
+        }
+        self.checkpoints.truncate_after(SeqNum(seq.0.saturating_sub(1)));
+    }
+}

@@ -1,0 +1,630 @@
+//! Pipeline stage 2 — ordering (Alg. 1 lines 4–33).
+//!
+//! The consensus core: the primary assembles batches and sends
+//! pre-prepares (`sendPrePrepare`, line 4), backups validate and
+//! early-execute them (`receivePrePrepare`, line 15), prepares advance
+//! the prepared frontier (`batchPrepared`, line 30), and revealed commit
+//! nonces advance the committed frontier (line 39). Commitment evidence
+//! (`P_{s−P}`, `K_{s−P}`) for the batch `P` earlier is built here and
+//! ordered into the ledger by the primary (§3.1), so every replica's
+//! ledger stays byte-identical.
+//!
+//! Ledger writes are batch-amortized: the evidence pair and the
+//! pre-prepare-plus-transactions segment each go through one
+//! [`ia_ccf_ledger::Ledger::append_batch`] reservation per batch instead
+//! of one append per entry.
+
+use std::collections::BTreeMap;
+
+use ia_ccf_types::{
+    BatchKind, Commit, Digest, LedgerEntry, Nonce, PrePrepare, PrePrepareCore, Prepare,
+    ProtocolMsg, ReplicaBitmap, ReplicaId, SeqNum, SignedRequest, SystemOp, TxLedgerEntry, View,
+};
+
+use crate::pipeline::execution::{BatchMark, ExecError};
+use crate::replica::Replica;
+
+/// The commitment evidence for one batch: `P_s` and `K_s` plus the bitmap.
+#[derive(Debug, Clone)]
+pub(crate) struct EvidenceSet {
+    pub seq: SeqNum,
+    pub bitmap: ReplicaBitmap,
+    pub prepares: Vec<Prepare>,
+    pub nonces: Vec<Nonce>,
+}
+
+impl Replica {
+    // ------------------------------------------------------------------
+    // Primary: sendPrePrepare (Alg. 1 line 4).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn maybe_send_pre_prepare(&mut self) {
+        loop {
+            let seq = self.seq_next;
+            let p = self.pipeline_depth();
+            // Evidence gate: pp at `s` needs the batch at `s − P` committed.
+            if seq.0 > p && self.committed_up_to.0 < seq.0 - p {
+                return;
+            }
+            // Reconfiguration batches take priority (§5.1).
+            if self.reconfig_pending() {
+                if !self.try_send_reconfig_batch() {
+                    return;
+                }
+                continue;
+            }
+            // Checkpoint batches at multiples of C (digest of cp at s − C).
+            let c = self.checkpoint_interval();
+            if self.params.checkpoints_enabled && seq.0.is_multiple_of(c) && seq.0 >= 2 * c {
+                if !self.send_checkpoint_batch(seq) {
+                    return;
+                }
+                continue;
+            }
+            // Regular batch: need requests and either a full batch or an
+            // expired batch timer.
+            let eligible = self.take_eligible_requests();
+            if eligible.is_empty() {
+                return;
+            }
+            let full = eligible.len() >= self.params.batch_max;
+            let timer_ok = self.tick.saturating_sub(self.last_pp_tick)
+                >= self.params.batch_delay_ticks;
+            if !full && !timer_ok {
+                // Put them back; wait for more.
+                for d in eligible.into_iter().rev() {
+                    self.pending_reqs.push_front(d);
+                }
+                return;
+            }
+            let mut requests: Vec<SignedRequest> =
+                eligible.iter().map(|d| self.req_store[d].clone()).collect();
+            if !self.ensure_batch_verified(&requests) {
+                // Drop forged requests; retry with the valid remainder.
+                requests.retain(|r| {
+                    !matches!(r.request.action, ia_ccf_types::RequestAction::App { .. })
+                        || self.verified_reqs.contains(&r.digest())
+                });
+                for r in &requests {
+                    // re-queue the valid ones in order
+                    self.pending_reqs.push_front(r.digest());
+                }
+                continue;
+            }
+            if !self.send_batch(seq, BatchKind::Regular, requests, None) {
+                return;
+            }
+        }
+    }
+
+    fn send_checkpoint_batch(&mut self, seq: SeqNum) -> bool {
+        let c = self.checkpoint_interval();
+        let cp_seq = SeqNum(seq.0 - c);
+        let Some(kv_digest) = self.cp_digests.get(&cp_seq).copied() else {
+            return false;
+        };
+        let tree_root = self
+            .checkpoints
+            .at(cp_seq)
+            .map(|r| r.frontier.root())
+            .unwrap_or_else(Digest::zero);
+        let mark = SignedRequest::system(
+            SystemOp::CheckpointMark { checkpoint_seq: cp_seq, kv_digest, tree_root },
+            self.gt_hash,
+        );
+        let digest = mark.digest();
+        self.req_store.insert(digest, mark.clone());
+        self.send_batch(seq, BatchKind::Checkpoint, vec![mark], None)
+    }
+
+    /// Assemble, early-execute, log and broadcast the batch at `seq`.
+    pub(crate) fn send_batch(
+        &mut self,
+        seq: SeqNum,
+        kind: BatchKind,
+        requests: Vec<SignedRequest>,
+        committed_root: Option<Digest>,
+    ) -> bool {
+        let view = self.view;
+        let evidence = self.build_evidence(seq);
+        let mark = BatchMark {
+            ledger_len_before: self.ledger.len(),
+            tx_index_before: self.next_tx_index,
+            gov_index_before: self.last_gov_index,
+            gov_before: std::sync::Arc::clone(&self.gov_snapshot),
+        };
+        let (evidence_seq, evidence_bitmap) = match &evidence {
+            Some(ev) => (ev.seq, ev.bitmap),
+            None => (SeqNum(0), ReplicaBitmap::empty()),
+        };
+        if self.params.ledger_enabled {
+            if let Some(ev) = &evidence {
+                self.append_evidence_entries(ev);
+            }
+        }
+
+        let exec = match self.execute_batch(seq, view, kind, &requests) {
+            Ok(exec) => exec,
+            Err(_) => {
+                // A correct primary only fails here on min-index races;
+                // roll back and retry later.
+                self.rollback_batch(seq, &mark);
+                return false;
+            }
+        };
+
+        let root_m = if self.params.ledger_enabled { self.ledger.root_m() } else { Digest::zero() };
+        let nonce = Nonce::random(&mut self.rng);
+        self.my_nonces.insert((view.0, seq.0), nonce);
+        let core = PrePrepareCore {
+            view,
+            seq,
+            root_m,
+            nonce_commit: nonce.commitment(),
+            evidence_seq,
+            evidence_bitmap,
+            gov_index: self.last_gov_index,
+            checkpoint_digest: self.receipt_checkpoint_digest(seq),
+            kind,
+            committed_root,
+            primary: self.id,
+        };
+        let root_g = exec.tree.root();
+        let sig = self.sign_replica_payload(&PrePrepare::signing_payload(&core, &root_g));
+        let pp = PrePrepare { core, root_g, sig };
+
+        let batch_hashes: Vec<Digest> = requests.iter().map(|r| r.digest()).collect();
+        if self.params.ledger_enabled {
+            self.batch_ledger_pos.insert(seq, mark.ledger_len_before);
+            self.append_segment_entries(&pp, requests, &exec.txs);
+        }
+        for d in &batch_hashes {
+            self.executed_reqs.insert(*d);
+        }
+        self.batch_exec.insert(seq, exec);
+        self.batch_marks.insert(seq, mark);
+        self.msgs.put_pp(pp.clone(), batch_hashes.clone());
+        self.seq_next = seq.next();
+        self.last_pp_tick = self.tick;
+        self.post_append_reconfig(seq, kind);
+        self.broadcast(ProtocolMsg::PrePrepare { pp, batch: batch_hashes });
+        // With a single replica (N = 1) the batch prepares immediately.
+        self.try_advance_prepared();
+        self.try_advance_committed();
+        true
+    }
+
+    /// Append a batch's evidence pair (`P_{s−P}`, `K_{s−P}`) as one
+    /// ledger segment write.
+    fn append_evidence_entries(&mut self, ev: &EvidenceSet) {
+        self.ledger.append_batch(vec![
+            LedgerEntry::Evidence { seq: ev.seq, prepares: ev.prepares.clone() },
+            LedgerEntry::Nonces { seq: ev.seq, nonces: ev.nonces.clone() },
+        ]);
+    }
+
+    /// Append a batch's pre-prepare and `⟨t, i, o⟩` entries as one ledger
+    /// segment write (one reservation per batch, §3.4).
+    fn append_segment_entries(
+        &mut self,
+        pp: &PrePrepare,
+        requests: Vec<SignedRequest>,
+        txs: &[super::execution::ExecTx],
+    ) {
+        let mut entries = Vec::with_capacity(1 + requests.len());
+        entries.push(LedgerEntry::PrePrepare(pp.clone()));
+        for (req, et) in requests.into_iter().zip(txs) {
+            entries.push(LedgerEntry::Tx(TxLedgerEntry {
+                request: req,
+                index: et.index,
+                result: et.result.clone(),
+            }));
+        }
+        self.ledger.append_batch(entries);
+    }
+
+    // ------------------------------------------------------------------
+    // Backup: receivePrePrepare (Alg. 1 line 15).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_pre_prepare(&mut self, sender: ReplicaId, pp: PrePrepare, batch: Vec<Digest>) {
+        let config = self.gov.active().clone();
+        if config.primary_of(self.view) == self.id {
+            return; // primaries don't take pre-prepares
+        }
+        if pp.view() != self.view || !self.ready {
+            return;
+        }
+        if pp.core.primary != sender || config.primary_of(pp.view()) != sender {
+            return;
+        }
+        if pp.seq() != self.seq_next {
+            // Out of order: stash future, ignore past.
+            if pp.seq() > self.seq_next {
+                self.stash_pp(pp, batch);
+            }
+            return;
+        }
+        if self.my_nonces.contains_key(&(pp.view().0, pp.seq().0)) {
+            return; // already prepared this slot in this view
+        }
+        // Signature check (parallelizable; sequential here, the sim layers
+        // batching where it matters).
+        let payload = PrePrepare::signing_payload(&pp.core, &pp.root_g);
+        if !self.verify_replica_payload(&config, sender, &payload, &pp.sig) {
+            return;
+        }
+        // hasRequests: all bodies present?
+        let missing: Vec<Digest> =
+            batch.iter().filter(|h| !self.req_store.contains_key(*h)).copied().collect();
+        if !missing.is_empty() {
+            self.send_replica(sender, ProtocolMsg::FetchRequests { hashes: missing });
+            self.stash_pp(pp, batch);
+            return;
+        }
+        // hasEvidence: every prepare/nonce referenced by the bitmap.
+        let evidence = if pp.core.evidence_bitmap.count() > 0 {
+            match self.reconstruct_evidence(&pp) {
+                Some(ev) => Some(ev),
+                None => {
+                    // Missing evidence messages: fetch from the primary,
+                    // which is guaranteed to have them (§3.1).
+                    let target = pp.core.evidence_seq;
+                    self.send_replica(sender, ProtocolMsg::FetchEvidence { seq: target });
+                    self.stash_pp(pp, batch);
+                    return;
+                }
+            }
+        } else {
+            None
+        };
+
+        self.accept_pre_prepare(pp, batch, evidence);
+    }
+
+    /// Shared backup path: append evidence, execute, compare roots, prepare.
+    /// Used for both live pre-prepares and new-view resends.
+    pub(crate) fn accept_pre_prepare(
+        &mut self,
+        pp: PrePrepare,
+        batch: Vec<Digest>,
+        evidence: Option<EvidenceSet>,
+    ) {
+        let seq = pp.seq();
+        let view = pp.view();
+        let mark = BatchMark {
+            ledger_len_before: self.ledger.len(),
+            tx_index_before: self.next_tx_index,
+            gov_index_before: self.last_gov_index,
+            gov_before: std::sync::Arc::clone(&self.gov_snapshot),
+        };
+        if self.params.ledger_enabled {
+            if let Some(ev) = &evidence {
+                self.append_evidence_entries(ev);
+            }
+            // The primary's M̄ was computed after the evidence append.
+            if self.ledger.root_m() != pp.core.root_m {
+                self.debug_reject(&pp, "root_m mismatch");
+                self.rollback_batch(seq, &mark);
+                self.note_divergence();
+                return;
+            }
+        }
+
+        // Kind-specific validation before execution.
+        if let Err(e) = self.validate_batch_kind(&pp, &batch) {
+            self.debug_reject(&pp, &format!("kind validation: {e:?}"));
+            self.rollback_batch(seq, &mark);
+            self.note_divergence();
+            return;
+        }
+
+        let requests: Vec<SignedRequest> =
+            batch.iter().map(|h| self.req_store[h].clone()).collect();
+        if !self.ensure_batch_verified(&requests) {
+            // A correct primary never includes a forged request.
+            self.rollback_batch(seq, &mark);
+            self.note_divergence();
+            return;
+        }
+        let exec = match self.execute_batch(seq, view, pp.core.kind, &requests) {
+            Ok(e) => e,
+            Err(e) => {
+                self.debug_reject(&pp, &format!("execution: {e:?}"));
+                self.rollback_batch(seq, &mark);
+                self.note_divergence();
+                return;
+            }
+        };
+        // Early-execution agreement: the roots must match (Alg. 1 line 22).
+        if exec.tree.root() != pp.root_g {
+            self.debug_reject(&pp, "root_g mismatch");
+            self.rollback_batch(seq, &mark);
+            self.note_divergence();
+            return;
+        }
+
+        if self.params.ledger_enabled {
+            self.batch_ledger_pos.insert(seq, mark.ledger_len_before);
+            self.append_segment_entries(&pp, requests, &exec.txs);
+        }
+        for d in &batch {
+            self.executed_reqs.insert(*d);
+        }
+        self.batch_exec.insert(seq, exec);
+        self.batch_marks.insert(seq, mark);
+        self.post_append_reconfig(seq, pp.core.kind);
+
+        let nonce = Nonce::random(&mut self.rng);
+        self.my_nonces.insert((view.0, seq.0), nonce);
+        let pp_digest = pp.digest();
+        self.msgs.put_pp(pp, batch);
+        let payload =
+            Prepare::signing_payload(view, seq, self.id, &nonce.commitment(), &pp_digest);
+        let prepare = Prepare {
+            view,
+            seq,
+            replica: self.id,
+            nonce_commit: nonce.commitment(),
+            pp_digest,
+            sig: self.sign_replica_payload(&payload),
+        };
+        self.msgs.put_prepare(prepare.clone());
+        self.seq_next = seq.next();
+        self.note_progress();
+        self.broadcast(ProtocolMsg::Prepare(prepare));
+        self.try_advance_prepared();
+        self.try_advance_committed();
+        self.retry_stashed();
+    }
+
+    /// Kind-specific checks a backup applies before executing (§3.4, §5.1).
+    fn validate_batch_kind(&self, pp: &PrePrepare, batch: &[Digest]) -> Result<(), ExecError> {
+        match pp.core.kind {
+            BatchKind::Regular => {
+                if pp.core.committed_root.is_some() {
+                    return Err(ExecError::KindMismatch);
+                }
+                Ok(())
+            }
+            BatchKind::Checkpoint => {
+                if batch.len() != 1 {
+                    return Err(ExecError::KindMismatch);
+                }
+                Ok(()) // digest equality validated during execution
+            }
+            BatchKind::EndOfConfig { .. } | BatchKind::StartOfConfig { .. } => {
+                if !batch.is_empty() {
+                    return Err(ExecError::KindMismatch);
+                }
+                self.validate_reconfig_batch(pp)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prepare / prepared (Alg. 1 lines 27–38).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_prepare(&mut self, p: Prepare) {
+        let config = self.gov.active().clone();
+        if config.rank_of(p.replica).is_none() {
+            return;
+        }
+        if !self.verify_replica_payload(&config, p.replica, &p.own_payload(), &p.sig) {
+            return;
+        }
+        self.msgs.put_prepare(p);
+        self.try_advance_prepared();
+        self.try_advance_committed();
+    }
+
+    /// Advance the contiguous prepared frontier (batchPrepared, line 30).
+    pub(crate) fn try_advance_prepared(&mut self) {
+        loop {
+            let next = self.prepared_up_to.next();
+            // The slot must have a pre-prepare we executed in our view.
+            let view = self.view;
+            let Some(slot) = self.msgs.slot(next, view) else {
+                return;
+            };
+            if slot.pp.is_none() || !self.batch_exec.contains_key(&next) {
+                return;
+            }
+            let quorum = self.config_for_seq(next).quorum();
+            let i_am_primary = self.gov.active().primary_of(view) == self.id;
+            let matching = self.msgs.matching_prepares(next, view).len();
+            // The pre-prepare counts as the primary's prepare; a backup's
+            // own prepare is in the store already.
+            let have = matching + 1; // + primary's pre-prepare
+            let own_ok = i_am_primary
+                || self
+                    .msgs
+                    .slot(next, view)
+                    .map(|s| s.prepares.contains_key(&self.id))
+                    .unwrap_or(false);
+            if have < quorum || !own_ok {
+                return;
+            }
+            self.mark_prepared(next, view);
+        }
+    }
+
+    fn mark_prepared(&mut self, seq: SeqNum, view: View) {
+        self.msgs.slot_mut(seq, view).prepared = true;
+        self.prepared_up_to = seq;
+        self.prepared_view.insert(seq, view);
+        self.note_progress();
+
+        // Send commit, revealing the nonce (line 32).
+        let nonce = self.my_nonces[&(view.0, seq.0)];
+        let commit = Commit { view, seq, replica: self.id, nonce };
+        self.msgs.put_commit(&commit);
+        self.broadcast(ProtocolMsg::Commit(commit));
+
+        // Replies to clients (lines 34–38).
+        self.send_replies(seq, view);
+        self.try_advance_committed();
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / committed (Alg. 1 line 39).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_commit(&mut self, sender: ReplicaId, c: Commit) {
+        if c.replica != sender {
+            return; // authenticated channel: senders can't impersonate
+        }
+        self.msgs.put_commit(&c);
+        self.try_advance_committed();
+        // A late commit (typically the primary's, which prepares last) may
+        // unblock a deferred governance receipt.
+        self.retry_pending_gov_receipts();
+    }
+
+    /// Advance the contiguous committed frontier: a batch commits once
+    /// `N − f` valid nonces (matching the signed commitments) are in.
+    pub(crate) fn try_advance_committed(&mut self) {
+        loop {
+            let next = self.committed_up_to.next();
+            let Some(&view) = self.prepared_view.get(&next) else {
+                return;
+            };
+            let quorum = self.config_for_seq(next).quorum();
+            let valid = self.valid_commit_nonces(next, view);
+            if valid.len() < quorum {
+                return;
+            }
+            self.mark_committed(next, view);
+        }
+    }
+
+    /// The commit nonces for `(seq, view)` whose hashes match the signed
+    /// commitments (pp for the primary, prepare for backups).
+    pub(crate) fn valid_commit_nonces(&self, seq: SeqNum, view: View) -> Vec<(ReplicaId, Nonce)> {
+        let Some(slot) = self.msgs.slot(seq, view) else {
+            return Vec::new();
+        };
+        let Some((pp, _)) = &slot.pp else {
+            return Vec::new();
+        };
+        slot.commits
+            .iter()
+            .filter(|(r, nonce)| {
+                let commitment = if **r == pp.core.primary {
+                    Some(pp.core.nonce_commit)
+                } else {
+                    slot.prepares.get(r).map(|p| p.nonce_commit)
+                };
+                commitment.is_some_and(|c| c.opens_with(nonce))
+            })
+            .map(|(r, n)| (*r, *n))
+            .collect()
+    }
+
+    fn mark_committed(&mut self, seq: SeqNum, view: View) {
+        self.msgs.slot_mut(seq, view).committed = true;
+        self.committed_up_to = seq;
+        self.note_progress();
+        let tx_count = self.batch_exec.get(&seq).map(|e| e.txs.len()).unwrap_or(0);
+        self.out.push(crate::events::Output::Committed { seq, tx_count });
+
+        // Committed batches beyond the pipeline can no longer roll back.
+        let release = seq.0.saturating_sub(self.pipeline_depth());
+        self.kv.release_batches_up_to(release);
+
+        // Build governance receipts (§5.2) while evidence is at hand.
+        self.build_gov_receipts(seq, view);
+
+        // Retirement completes once the switch batch commits (§5.1).
+        self.maybe_retire(seq);
+
+        // Prune execution state we no longer need (keep a window for
+        // receipt re-serving).
+        let keep_from = seq.0.saturating_sub(64);
+        self.batch_exec.retain(|s, _| s.0 > keep_from);
+        let p = self.pipeline_depth();
+        self.batch_marks.retain(|s, _| s.0 + 2 * p > seq.0);
+        let compact_to = seq.0.saturating_sub(4 * self.pipeline_depth().max(8));
+        self.msgs.compact(SeqNum(compact_to), View(self.view.0.saturating_sub(2)));
+    }
+
+    // ------------------------------------------------------------------
+    // Evidence (§3.1).
+    // ------------------------------------------------------------------
+
+    /// Build the commitment evidence to attach to the pre-prepare at `seq`:
+    /// quorum − 1 prepares and quorum nonces for the batch at `seq − P`.
+    pub(crate) fn build_evidence(&self, seq: SeqNum) -> Option<EvidenceSet> {
+        let p = self.pipeline_depth();
+        if seq.0 <= p {
+            return None;
+        }
+        let target = SeqNum(seq.0 - p);
+        let view = *self.prepared_view.get(&target)?;
+        let slot = self.msgs.slot(target, view)?;
+        let (pp, _) = slot.pp.as_ref()?;
+        let config = self.config_for_seq(target).clone();
+        let config = &config;
+        let quorum = config.quorum();
+
+        // Pick the quorum: the primary of the evidenced batch plus backups
+        // with both a matching prepare and a valid commit nonce, lowest
+        // ranks first (deterministic given the bitmap).
+        let nonces_by_replica: BTreeMap<ReplicaId, Nonce> =
+            self.valid_commit_nonces(target, view).into_iter().collect();
+        let primary = pp.core.primary;
+        if !nonces_by_replica.contains_key(&primary) {
+            return None;
+        }
+        let ppd = slot.pp_digest?;
+        let mut chosen: Vec<ReplicaId> = vec![primary];
+        for (r, prep) in &slot.prepares {
+            if chosen.len() >= quorum {
+                break;
+            }
+            if *r != primary && prep.pp_digest == ppd && nonces_by_replica.contains_key(r) {
+                chosen.push(*r);
+            }
+        }
+        if chosen.len() < quorum {
+            return None;
+        }
+        chosen.sort_unstable();
+        let mut bitmap = ReplicaBitmap::empty();
+        let mut prepares = Vec::new();
+        let mut nonces = Vec::new();
+        for r in &chosen {
+            bitmap.set(config.rank_of(*r)?);
+            nonces.push(nonces_by_replica[r]);
+            if *r != primary {
+                prepares.push(slot.prepares[r].clone());
+            }
+        }
+        Some(EvidenceSet { seq: target, bitmap, prepares, nonces })
+    }
+
+    /// A backup reconstructs the evidence bytes the primary chose, from its
+    /// own message store (messages are signed, hence byte-identical).
+    fn reconstruct_evidence(&self, pp: &PrePrepare) -> Option<EvidenceSet> {
+        let target = pp.core.evidence_seq;
+        let view = *self.prepared_view.get(&target)?;
+        let slot = self.msgs.slot(target, view)?;
+        let (target_pp, _) = slot.pp.as_ref()?;
+        let config = self.config_for_seq(target).clone();
+        let config = &config;
+        let primary = target_pp.core.primary;
+        let primary_rank = config.rank_of(primary)?;
+        let mut prepares = Vec::new();
+        let mut nonces = Vec::new();
+        for rank in pp.core.evidence_bitmap.iter() {
+            let desc = config.replica_at_rank(rank)?;
+            let nonce = slot.commits.get(&desc.id)?;
+            nonces.push(*nonce);
+            if rank != primary_rank {
+                prepares.push(slot.prepares.get(&desc.id)?.clone());
+            }
+        }
+        Some(EvidenceSet { seq: target, bitmap: pp.core.evidence_bitmap, prepares, nonces })
+    }
+}

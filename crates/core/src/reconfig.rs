@@ -28,7 +28,8 @@ use ia_ccf_types::{
 };
 
 use crate::events::Output;
-use crate::replica::{ExecError, Replica};
+use crate::pipeline::ExecError;
+use crate::replica::Replica;
 
 /// An in-flight reconfiguration: the target configuration and the anchor
 /// sequence number. All schedule state derives from these two.
@@ -198,6 +199,7 @@ impl Replica {
             return; // already activated (view-change re-proposal)
         }
         self.gov.activate(new_config.clone());
+        self.gov_snapshot = std::sync::Arc::new(self.gov.clone());
         if self.config_first_seq.last().map(|(s, _)| *s) != Some(seq.next()) {
             self.config_first_seq.push((seq.next(), new_config.clone()));
         }

@@ -1,23 +1,26 @@
-//! The L-PBFT replica state machine — normal-case operation (Alg. 1).
+//! The L-PBFT replica — shared state and stage dispatch.
 //!
-//! View changes live in [`crate::viewchange`], reconfiguration in
-//! [`crate::reconfig`]; both are `impl Replica` blocks over the state
-//! defined here.
+//! Normal-case operation (Alg. 1) is the staged pipeline in
+//! [`crate::pipeline`]: [`crate::pipeline::admission`] verifies and
+//! queues requests, [`crate::pipeline::ordering`] runs the
+//! pre-prepare/prepare/commit quorum machinery,
+//! [`crate::pipeline::execution`] early-executes batches and keeps their
+//! rollback marks, and [`crate::pipeline::emission`] produces replies and
+//! receipts. View changes live in [`crate::viewchange`], reconfiguration
+//! in [`crate::reconfig`]; all of them are `impl Replica` blocks over the
+//! state defined here.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use ia_ccf_crypto::{hash_bytes, Hasher};
-use ia_ccf_governance::{GovOutcome, GovernanceState};
-use ia_ccf_governance::chain::{GovLink, GOV_OUTPUT_PASSED, GOV_OUTPUT_RECORDED};
+use ia_ccf_crypto::hash_bytes;
+use ia_ccf_governance::chain::GovLink;
+use ia_ccf_governance::GovernanceState;
 use ia_ccf_kv::KvStore;
 use ia_ccf_ledger::Ledger;
-use ia_ccf_merkle::MerkleTree;
 use ia_ccf_types::{
-    BatchCertificate, BatchKind, ClientId, Commit, Configuration, Digest, LedgerEntry, LedgerIdx,
-    Nonce, PrePrepare, PrePrepareCore, Prepare, ProtocolMsg, PublicKey, Receipt, ReceiptBody,
-    Reply, ReplyX, ReplicaBitmap, ReplicaId, Request, RequestAction, SeqNum, Signature,
-    SignedRequest, SystemOp, TxLedgerEntry, TxResult, TxWitness, View, Wire,
+    ClientId, Configuration, Digest, LedgerIdx, Nonce, PrePrepare, ProtocolMsg, PublicKey,
+    ReplicaId, Request, RequestAction, SeqNum, Signature, SignedRequest, View, Wire,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,44 +30,7 @@ use crate::checkpoint::{receipt_checkpoint_seq, CheckpointRecord, CheckpointStor
 use crate::events::{Input, NodeId, Output};
 use crate::msgstore::MsgStore;
 use crate::params::{ProtocolParams, ReplicaAuth};
-
-/// Result of executing one transaction, plus the bookkeeping needed for
-/// replies and receipts.
-#[derive(Debug, Clone)]
-pub(crate) struct ExecTx {
-    pub request_digest: Digest,
-    pub client: ClientId,
-    pub index: LedgerIdx,
-    pub result: TxResult,
-    pub is_governance: bool,
-}
-
-/// Everything remembered about an executed (possibly not yet committed)
-/// batch.
-#[derive(Debug, Clone)]
-pub(crate) struct BatchExec {
-    pub view: View,
-    pub kind: BatchKind,
-    pub txs: Vec<ExecTx>,
-    pub tree: MerkleTree,
-}
-
-/// Rollback information for a batch (Lemma 1).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct BatchMark {
-    pub ledger_len_before: u64,
-    pub tx_index_before: u64,
-    pub gov_index_before: LedgerIdx,
-}
-
-/// Why a batch could not be executed/accepted.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum ExecError {
-    MinIndexViolated,
-    CheckpointMismatch,
-    GovNotLast,
-    KindMismatch,
-}
+use crate::pipeline::{BatchExec, BatchMark};
 
 /// The L-PBFT replica. Construct with [`Replica::new`], drive with
 /// [`Replica::handle`].
@@ -76,6 +42,10 @@ pub struct Replica {
 
     // Governance / configuration.
     pub(crate) gov: GovernanceState,
+    /// Copy-on-write mirror of `gov` for O(1) rollback marks: refreshed
+    /// whenever `gov` mutates (governance execution, activation,
+    /// rollback), cheaply `Arc`-cloned into every [`BatchMark`].
+    pub(crate) gov_snapshot: Arc<GovernanceState>,
     pub(crate) client_keys: HashMap<ClientId, PublicKey>,
 
     // Protocol state.
@@ -92,7 +62,7 @@ pub struct Replica {
     pub(crate) req_store: HashMap<Digest, SignedRequest>,
     pub(crate) executed_reqs: HashSet<Digest>,
     /// App requests whose client signatures have been verified (client
-    /// signature checks are deferred and batched through rayon, §3.4).
+    /// signature checks are deferred and batch-verified, §3.4).
     pub(crate) verified_reqs: HashSet<Digest>,
 
     // Message/nonce stores.
@@ -174,11 +144,13 @@ impl Replica {
             next_tx_index: 1,
         });
         let seed = hash_bytes(&[gt_hash.as_ref(), &id.0.to_le_bytes()].concat());
+        let gov = GovernanceState::new(genesis.clone());
         Replica {
             id,
             keypair,
             params,
-            gov: GovernanceState::new(genesis.clone()),
+            gov_snapshot: Arc::new(gov.clone()),
+            gov,
             client_keys: client_keys.into_iter().collect(),
             view: View(0),
             ready: true,
@@ -300,7 +272,7 @@ impl Replica {
     }
 
     // ------------------------------------------------------------------
-    // Main entry point.
+    // Main entry point: stage dispatch.
     // ------------------------------------------------------------------
 
     /// Feed one input, collect the resulting outputs.
@@ -315,6 +287,8 @@ impl Replica {
         std::mem::take(&mut self.out)
     }
 
+    /// Route one message to its pipeline stage (admission, ordering,
+    /// emission) or to the view-change module.
     fn on_message(&mut self, from: NodeId, msg: ProtocolMsg) {
         if self.params.peer_review {
             self.peer_review_inbound(&from, &msg);
@@ -359,7 +333,7 @@ impl Replica {
                 }
             }
             ProtocolMsg::FetchLedgerResponse { entries } => {
-                self.on_ledger_response(entries);
+                self.handle_vc_ledger_response(entries);
             }
             ProtocolMsg::FetchGovReceipts { from_index } => {
                 if let NodeId::Client(client) = from {
@@ -402,1245 +376,6 @@ impl Replica {
             self.maybe_send_pre_prepare();
         }
         self.maybe_start_view_change();
-    }
-
-    // ------------------------------------------------------------------
-    // Requests (Alg. 1 line 1).
-    // ------------------------------------------------------------------
-
-    fn on_request(&mut self, req: SignedRequest) {
-        if !self.verify_request(&req) {
-            return;
-        }
-        self.admit_request(req);
-        // Note pending work for the liveness timer.
-        if !self.pending_reqs.is_empty() && self.last_progress_tick == 0 {
-            self.last_progress_tick = self.tick;
-        }
-    }
-
-    /// `verify(t)`: service binding and membership at admission. Client
-    /// signature checks on app requests are *deferred* to batch time and
-    /// verified in parallel (§3.4: "Signature verification is parallelized
-    /// for messages received from replicas and clients").
-    fn verify_request(&self, req: &SignedRequest) -> bool {
-        if req.request.gt_hash != self.gt_hash {
-            return false;
-        }
-        match &req.request.action {
-            RequestAction::System(_) => false, // never accepted from the network
-            RequestAction::Governance(_) => {
-                let member = ia_ccf_governance::chain::member_of(req);
-                match self.gov.active().member_key(member) {
-                    Some(key) => req.verify_with(key),
-                    None => false,
-                }
-            }
-            RequestAction::App { .. } => {
-                !self.params.verify_client_sigs
-                    || self.client_keys.contains_key(&req.request.client)
-            }
-        }
-    }
-
-    /// Batch-verify the client signatures of `requests` with rayon,
-    /// caching successes. Returns false when any signature is invalid.
-    pub(crate) fn ensure_batch_verified(&mut self, requests: &[SignedRequest]) -> bool {
-        if !self.params.verify_client_sigs {
-            return true;
-        }
-        use rayon::prelude::*;
-        let todo: Vec<(Digest, &SignedRequest)> = requests
-            .iter()
-            .filter(|r| matches!(r.request.action, RequestAction::App { .. }))
-            .map(|r| (r.digest(), r))
-            .filter(|(d, _)| !self.verified_reqs.contains(d))
-            .collect();
-        if todo.is_empty() {
-            return true;
-        }
-        let keys = &self.client_keys;
-        let results: Vec<(Digest, bool)> = todo
-            .par_iter()
-            .map(|(d, r)| {
-                let ok = keys
-                    .get(&r.request.client)
-                    .map(|k| r.verify_with(k))
-                    .unwrap_or(false);
-                (*d, ok)
-            })
-            .collect();
-        let mut all_ok = true;
-        for (d, ok) in results {
-            if ok {
-                self.verified_reqs.insert(d);
-            } else {
-                all_ok = false;
-            }
-        }
-        all_ok
-    }
-
-    fn admit_request(&mut self, req: SignedRequest) {
-        let digest = req.digest();
-        if self.executed_reqs.contains(&digest) || self.req_store.contains_key(&digest) {
-            // Already known. If executed and committed, re-serve the reply.
-            return;
-        }
-        self.req_store.insert(digest, req);
-        self.pending_reqs.push_back(digest);
-    }
-
-    // ------------------------------------------------------------------
-    // Primary: sendPrePrepare (Alg. 1 line 4).
-    // ------------------------------------------------------------------
-
-    pub(crate) fn maybe_send_pre_prepare(&mut self) {
-        loop {
-            let seq = self.seq_next;
-            let p = self.pipeline_depth();
-            // Evidence gate: pp at `s` needs the batch at `s − P` committed.
-            if seq.0 > p && self.committed_up_to.0 < seq.0 - p {
-                return;
-            }
-            // Reconfiguration batches take priority (§5.1).
-            if self.reconfig_pending() {
-                if !self.try_send_reconfig_batch() {
-                    return;
-                }
-                continue;
-            }
-            // Checkpoint batches at multiples of C (digest of cp at s − C).
-            let c = self.checkpoint_interval();
-            if self.params.checkpoints_enabled && seq.0.is_multiple_of(c) && seq.0 >= 2 * c {
-                if !self.send_checkpoint_batch(seq) {
-                    return;
-                }
-                continue;
-            }
-            // Regular batch: need requests and either a full batch or an
-            // expired batch timer.
-            let eligible = self.take_eligible_requests();
-            if eligible.is_empty() {
-                return;
-            }
-            let full = eligible.len() >= self.params.batch_max;
-            let timer_ok = self.tick.saturating_sub(self.last_pp_tick)
-                >= self.params.batch_delay_ticks;
-            if !full && !timer_ok {
-                // Put them back; wait for more.
-                for d in eligible.into_iter().rev() {
-                    self.pending_reqs.push_front(d);
-                }
-                return;
-            }
-            let mut requests: Vec<SignedRequest> =
-                eligible.iter().map(|d| self.req_store[d].clone()).collect();
-            if !self.ensure_batch_verified(&requests) {
-                // Drop forged requests; retry with the valid remainder.
-                requests.retain(|r| {
-                    !matches!(r.request.action, RequestAction::App { .. })
-                        || self.verified_reqs.contains(&r.digest())
-                });
-                for r in &requests {
-                    // re-queue the valid ones in order
-                    self.pending_reqs.push_front(r.digest());
-                }
-                continue;
-            }
-            if !self.send_batch(seq, BatchKind::Regular, requests, None) {
-                return;
-            }
-        }
-    }
-
-    /// Pop up to `batch_max` orderable requests, stopping after a
-    /// governance transaction (a correct primary ends the batch there,
-    /// §B.2), and deferring requests whose `min_index` is not yet
-    /// satisfiable.
-    fn take_eligible_requests(&mut self) -> Vec<Digest> {
-        let mut taken = Vec::new();
-        let mut deferred = Vec::new();
-        let mut projected_index = self.next_tx_index;
-        while taken.len() < self.params.batch_max {
-            let Some(digest) = self.pending_reqs.pop_front() else {
-                break;
-            };
-            let Some(req) = self.req_store.get(&digest) else {
-                continue;
-            };
-            if self.executed_reqs.contains(&digest) {
-                continue;
-            }
-            if req.request.min_index.0 > projected_index {
-                deferred.push(digest);
-                continue;
-            }
-            let is_gov = req.is_governance();
-            taken.push(digest);
-            projected_index += 1;
-            if is_gov {
-                break;
-            }
-        }
-        for d in deferred.into_iter().rev() {
-            self.pending_reqs.push_front(d);
-        }
-        taken
-    }
-
-    fn send_checkpoint_batch(&mut self, seq: SeqNum) -> bool {
-        let c = self.checkpoint_interval();
-        let cp_seq = SeqNum(seq.0 - c);
-        let Some(kv_digest) = self.cp_digests.get(&cp_seq).copied() else {
-            return false;
-        };
-        let tree_root = self
-            .checkpoints
-            .at(cp_seq)
-            .map(|r| r.frontier.root())
-            .unwrap_or_else(Digest::zero);
-        let mark = SignedRequest::system(
-            SystemOp::CheckpointMark { checkpoint_seq: cp_seq, kv_digest, tree_root },
-            self.gt_hash,
-        );
-        let digest = mark.digest();
-        self.req_store.insert(digest, mark.clone());
-        self.send_batch(seq, BatchKind::Checkpoint, vec![mark], None)
-    }
-
-    /// Assemble, early-execute, log and broadcast the batch at `seq`.
-    pub(crate) fn send_batch(
-        &mut self,
-        seq: SeqNum,
-        kind: BatchKind,
-        requests: Vec<SignedRequest>,
-        committed_root: Option<Digest>,
-    ) -> bool {
-        let view = self.view;
-        let evidence = self.build_evidence(seq);
-        let mark = BatchMark {
-            ledger_len_before: self.ledger.len(),
-            tx_index_before: self.next_tx_index,
-            gov_index_before: self.last_gov_index,
-        };
-        let (evidence_seq, evidence_bitmap) = match &evidence {
-            Some(ev) => (ev.seq, ev.bitmap),
-            None => (SeqNum(0), ReplicaBitmap::empty()),
-        };
-        if self.params.ledger_enabled {
-            if let Some(ev) = &evidence {
-                self.ledger.append(LedgerEntry::Evidence {
-                    seq: ev.seq,
-                    prepares: ev.prepares.clone(),
-                });
-                self.ledger.append(LedgerEntry::Nonces { seq: ev.seq, nonces: ev.nonces.clone() });
-            }
-        }
-
-        let exec = match self.execute_batch(seq, view, kind, &requests) {
-            Ok(exec) => exec,
-            Err(_) => {
-                // A correct primary only fails here on min-index races;
-                // roll back and retry later.
-                self.rollback_batch(seq, &mark);
-                return false;
-            }
-        };
-
-        let root_m = if self.params.ledger_enabled { self.ledger.root_m() } else { Digest::zero() };
-        let nonce = Nonce::random(&mut self.rng);
-        self.my_nonces.insert((view.0, seq.0), nonce);
-        let core = PrePrepareCore {
-            view,
-            seq,
-            root_m,
-            nonce_commit: nonce.commitment(),
-            evidence_seq,
-            evidence_bitmap,
-            gov_index: self.last_gov_index,
-            checkpoint_digest: self.receipt_checkpoint_digest(seq),
-            kind,
-            committed_root,
-            primary: self.id,
-        };
-        let root_g = exec.tree.root();
-        let sig = self.sign_replica_payload(&PrePrepare::signing_payload(&core, &root_g));
-        let pp = PrePrepare { core, root_g, sig };
-
-        let batch_hashes: Vec<Digest> = requests.iter().map(|r| r.digest()).collect();
-        if self.params.ledger_enabled {
-            self.batch_ledger_pos.insert(seq, mark.ledger_len_before);
-            self.ledger.append(LedgerEntry::PrePrepare(pp.clone()));
-            for (req, et) in requests.iter().zip(&exec.txs) {
-                self.ledger.append(LedgerEntry::Tx(TxLedgerEntry {
-                    request: req.clone(),
-                    index: et.index,
-                    result: et.result.clone(),
-                }));
-            }
-        }
-        for d in &batch_hashes {
-            self.executed_reqs.insert(*d);
-        }
-        self.batch_exec.insert(seq, exec);
-        self.batch_marks.insert(seq, mark);
-        self.msgs.put_pp(pp.clone(), batch_hashes.clone());
-        self.seq_next = seq.next();
-        self.last_pp_tick = self.tick;
-        self.post_append_reconfig(seq, kind);
-        self.broadcast(ProtocolMsg::PrePrepare { pp, batch: batch_hashes });
-        // With a single replica (N = 1) the batch prepares immediately.
-        self.try_advance_prepared();
-        self.try_advance_committed();
-        true
-    }
-
-    // ------------------------------------------------------------------
-    // Backup: receivePrePrepare (Alg. 1 line 15).
-    // ------------------------------------------------------------------
-
-    fn on_pre_prepare(&mut self, sender: ReplicaId, pp: PrePrepare, batch: Vec<Digest>) {
-        let config = self.gov.active().clone();
-        if config.primary_of(self.view) == self.id {
-            return; // primaries don't take pre-prepares
-        }
-        if pp.view() != self.view || !self.ready {
-            return;
-        }
-        if pp.core.primary != sender || config.primary_of(pp.view()) != sender {
-            return;
-        }
-        if pp.seq() != self.seq_next {
-            // Out of order: stash future, ignore past.
-            if pp.seq() > self.seq_next {
-                self.stash_pp(pp, batch);
-            }
-            return;
-        }
-        if self.my_nonces.contains_key(&(pp.view().0, pp.seq().0)) {
-            return; // already prepared this slot in this view
-        }
-        // Signature check (parallelizable; sequential here, the sim layers
-        // batching where it matters).
-        let payload = PrePrepare::signing_payload(&pp.core, &pp.root_g);
-        if !self.verify_replica_payload(&config, sender, &payload, &pp.sig) {
-            return;
-        }
-        // hasRequests: all bodies present?
-        let missing: Vec<Digest> =
-            batch.iter().filter(|h| !self.req_store.contains_key(*h)).copied().collect();
-        if !missing.is_empty() {
-            self.send_replica(sender, ProtocolMsg::FetchRequests { hashes: missing });
-            self.stash_pp(pp, batch);
-            return;
-        }
-        // hasEvidence: every prepare/nonce referenced by the bitmap.
-        let evidence = if pp.core.evidence_bitmap.count() > 0 {
-            match self.reconstruct_evidence(&pp) {
-                Some(ev) => Some(ev),
-                None => {
-                    // Missing evidence messages: fetch from the primary,
-                    // which is guaranteed to have them (§3.1).
-                    let target = pp.core.evidence_seq;
-                    self.send_replica(sender, ProtocolMsg::FetchEvidence { seq: target });
-                    self.stash_pp(pp, batch);
-                    return;
-                }
-            }
-        } else {
-            None
-        };
-
-        self.accept_pre_prepare(pp, batch, evidence);
-    }
-
-    /// Shared backup path: append evidence, execute, compare roots, prepare.
-    /// Used for both live pre-prepares and new-view resends.
-    pub(crate) fn accept_pre_prepare(
-        &mut self,
-        pp: PrePrepare,
-        batch: Vec<Digest>,
-        evidence: Option<EvidenceSet>,
-    ) {
-        let seq = pp.seq();
-        let view = pp.view();
-        let mark = BatchMark {
-            ledger_len_before: self.ledger.len(),
-            tx_index_before: self.next_tx_index,
-            gov_index_before: self.last_gov_index,
-        };
-        if self.params.ledger_enabled {
-            if let Some(ev) = &evidence {
-                self.ledger.append(LedgerEntry::Evidence {
-                    seq: ev.seq,
-                    prepares: ev.prepares.clone(),
-                });
-                self.ledger.append(LedgerEntry::Nonces { seq: ev.seq, nonces: ev.nonces.clone() });
-            }
-            // The primary's M̄ was computed after the evidence append.
-            if self.ledger.root_m() != pp.core.root_m {
-                self.debug_reject(&pp, "root_m mismatch");
-                self.rollback_batch(seq, &mark);
-                self.note_divergence();
-                return;
-            }
-        }
-
-        // Kind-specific validation before execution.
-        if let Err(e) = self.validate_batch_kind(&pp, &batch) {
-            self.debug_reject(&pp, &format!("kind validation: {e:?}"));
-            self.rollback_batch(seq, &mark);
-            self.note_divergence();
-            return;
-        }
-
-        let requests: Vec<SignedRequest> =
-            batch.iter().map(|h| self.req_store[h].clone()).collect();
-        if !self.ensure_batch_verified(&requests) {
-            // A correct primary never includes a forged request.
-            self.rollback_batch(seq, &mark);
-            self.note_divergence();
-            return;
-        }
-        let exec = match self.execute_batch(seq, view, pp.core.kind, &requests) {
-            Ok(e) => e,
-            Err(e) => {
-                self.debug_reject(&pp, &format!("execution: {e:?}"));
-                self.rollback_batch(seq, &mark);
-                self.note_divergence();
-                return;
-            }
-        };
-        // Early-execution agreement: the roots must match (Alg. 1 line 22).
-        if exec.tree.root() != pp.root_g {
-            self.debug_reject(&pp, "root_g mismatch");
-            self.rollback_batch(seq, &mark);
-            self.note_divergence();
-            return;
-        }
-
-        if self.params.ledger_enabled {
-            self.batch_ledger_pos.insert(seq, mark.ledger_len_before);
-            self.ledger.append(LedgerEntry::PrePrepare(pp.clone()));
-            for (req, et) in requests.iter().zip(&exec.txs) {
-                self.ledger.append(LedgerEntry::Tx(TxLedgerEntry {
-                    request: req.clone(),
-                    index: et.index,
-                    result: et.result.clone(),
-                }));
-            }
-        }
-        for d in &batch {
-            self.executed_reqs.insert(*d);
-        }
-        self.batch_exec.insert(seq, exec);
-        self.batch_marks.insert(seq, mark);
-        self.post_append_reconfig(seq, pp.core.kind);
-
-        let nonce = Nonce::random(&mut self.rng);
-        self.my_nonces.insert((view.0, seq.0), nonce);
-        let pp_digest = pp.digest();
-        self.msgs.put_pp(pp, batch);
-        let payload =
-            Prepare::signing_payload(view, seq, self.id, &nonce.commitment(), &pp_digest);
-        let prepare = Prepare {
-            view,
-            seq,
-            replica: self.id,
-            nonce_commit: nonce.commitment(),
-            pp_digest,
-            sig: self.sign_replica_payload(&payload),
-        };
-        self.msgs.put_prepare(prepare.clone());
-        self.seq_next = seq.next();
-        self.note_progress();
-        self.broadcast(ProtocolMsg::Prepare(prepare));
-        self.try_advance_prepared();
-        self.try_advance_committed();
-        self.retry_stashed();
-    }
-
-    fn stash_pp(&mut self, pp: PrePrepare, batch: Vec<Digest>) {
-        if self.stashed_pps.iter().any(|(p, _)| p.seq() == pp.seq() && p.view() == pp.view()) {
-            return;
-        }
-        if self.stashed_pps.len() < 1024 {
-            self.stashed_pps.push((pp, batch));
-        }
-    }
-
-    pub(crate) fn retry_stashed(&mut self) {
-        if self.stashed_pps.is_empty() {
-            return;
-        }
-        let stashed = std::mem::take(&mut self.stashed_pps);
-        for (pp, batch) in stashed {
-            if pp.seq() >= self.seq_next && pp.view() == self.view {
-                let sender = pp.core.primary;
-                self.on_pre_prepare(sender, pp, batch);
-            }
-        }
-    }
-
-    /// Kind-specific checks a backup applies before executing (§3.4, §5.1).
-    fn validate_batch_kind(&self, pp: &PrePrepare, batch: &[Digest]) -> Result<(), ExecError> {
-        match pp.core.kind {
-            BatchKind::Regular => {
-                if pp.core.committed_root.is_some() {
-                    return Err(ExecError::KindMismatch);
-                }
-                Ok(())
-            }
-            BatchKind::Checkpoint => {
-                if batch.len() != 1 {
-                    return Err(ExecError::KindMismatch);
-                }
-                Ok(()) // digest equality validated during execution
-            }
-            BatchKind::EndOfConfig { .. } | BatchKind::StartOfConfig { .. } => {
-                if !batch.is_empty() {
-                    return Err(ExecError::KindMismatch);
-                }
-                self.validate_reconfig_batch(pp)
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Execution (early execution, Lemma 2).
-    // ------------------------------------------------------------------
-
-    pub(crate) fn execute_batch(
-        &mut self,
-        seq: SeqNum,
-        view: View,
-        kind: BatchKind,
-        requests: &[SignedRequest],
-    ) -> Result<BatchExec, ExecError> {
-        self.kv.begin_batch(seq.0);
-        let mut txs = Vec::with_capacity(requests.len());
-        let mut tree = MerkleTree::new();
-        for (pos, req) in requests.iter().enumerate() {
-            let is_gov = req.is_governance();
-            if is_gov && pos != requests.len() - 1 {
-                return Err(ExecError::GovNotLast);
-            }
-            let index = LedgerIdx(self.next_tx_index);
-            if req.request.min_index.0 > index.0 {
-                return Err(ExecError::MinIndexViolated);
-            }
-            let result = self.execute_one(seq, req)?;
-            if is_gov && result.ok {
-                self.last_gov_index = index;
-            }
-            let entry_leaf =
-                ia_ccf_types::entry::g_leaf_hash(&req.digest(), index, &result);
-            tree.append(entry_leaf);
-            txs.push(ExecTx {
-                request_digest: req.digest(),
-                client: req.request.client,
-                index,
-                result,
-                is_governance: is_gov,
-            });
-            self.next_tx_index += 1;
-        }
-        // Checkpoint after executing a batch at a multiple of C (§3.4).
-        if self.params.checkpoints_enabled && seq.0.is_multiple_of(self.checkpoint_interval()) {
-            self.take_checkpoint(seq);
-        }
-        Ok(BatchExec { view, kind, txs, tree })
-    }
-
-    fn execute_one(&mut self, _seq: SeqNum, req: &SignedRequest) -> Result<TxResult, ExecError> {
-        self.kv.begin_tx().expect("no nested tx");
-        match &req.request.action {
-            RequestAction::App { proc, args } => {
-                match self.app.execute(&mut self.kv, *proc, args, req.request.client) {
-                    Ok(output) => {
-                        let ws = self.kv.commit_tx().expect("tx open");
-                        Ok(TxResult { ok: true, output, write_set_digest: ws.digest() })
-                    }
-                    Err(e) => {
-                        self.kv.abort_tx().expect("tx open");
-                        Ok(TxResult {
-                            ok: false,
-                            output: e.0.into_bytes(),
-                            write_set_digest: Digest::zero(),
-                        })
-                    }
-                }
-            }
-            RequestAction::Governance(action) => {
-                let member = ia_ccf_governance::chain::member_of(req);
-                match self.gov.apply(member, action) {
-                    Ok(outcome) => {
-                        // Mirror governance state into the store so
-                        // checkpoints capture it (replay needs it).
-                        let snapshot = self.gov_state_snapshot();
-                        self.kv
-                            .put(b"\x00gov_state".to_vec(), snapshot)
-                            .expect("tx open");
-                        let ws = self.kv.commit_tx().expect("tx open");
-                        let output = match &outcome {
-                            GovOutcome::Recorded => GOV_OUTPUT_RECORDED.to_vec(),
-                            GovOutcome::ReferendumPassed(_) => GOV_OUTPUT_PASSED.to_vec(),
-                        };
-                        if let GovOutcome::ReferendumPassed(new_config) = outcome {
-                            self.begin_reconfig(*new_config, _seq);
-                        }
-                        Ok(TxResult { ok: true, output, write_set_digest: ws.digest() })
-                    }
-                    Err(e) => {
-                        self.kv.abort_tx().expect("tx open");
-                        Ok(TxResult {
-                            ok: false,
-                            output: e.to_string().into_bytes(),
-                            write_set_digest: Digest::zero(),
-                        })
-                    }
-                }
-            }
-            RequestAction::System(SystemOp::CheckpointMark { checkpoint_seq, kv_digest, .. }) => {
-                self.kv.commit_tx().expect("tx open");
-                if !self.params.checkpoints_enabled {
-                    return Ok(TxResult {
-                        ok: true,
-                        output: Vec::new(),
-                        write_set_digest: Digest::zero(),
-                    });
-                }
-                match self.cp_digests.get(checkpoint_seq) {
-                    Some(own) if own == kv_digest => Ok(TxResult {
-                        ok: true,
-                        output: Vec::new(),
-                        write_set_digest: Digest::zero(),
-                    }),
-                    _ => Err(ExecError::CheckpointMismatch),
-                }
-            }
-        }
-    }
-
-    /// Serialize governance state (active config digest + open proposals)
-    /// for the KV mirror. Deterministic across replicas.
-    fn gov_state_snapshot(&self) -> Vec<u8> {
-        let mut h = Hasher::new();
-        h.update(self.gov.active().digest());
-        for p in self.gov.proposals() {
-            h.update(p.proposer.0.to_le_bytes());
-            h.update(p.id.to_le_bytes());
-            h.update(p.new_config.digest());
-            for m in &p.approvals {
-                h.update(m.0.to_le_bytes());
-            }
-        }
-        h.finalize().as_ref().to_vec()
-    }
-
-    pub(crate) fn take_checkpoint(&mut self, seq: SeqNum) {
-        let record = CheckpointRecord {
-            seq,
-            kv: self.kv.checkpoint(),
-            frontier: self.ledger.frontier(),
-            ledger_len: self.ledger.len(),
-            next_tx_index: self.next_tx_index,
-        };
-        let digest = record.kv.digest();
-        self.cp_digests.insert(seq, digest);
-        self.checkpoints.insert(record);
-        self.out.push(Output::CheckpointTaken { seq, kv_digest: digest });
-        // Prune digests older than two intervals before the checkpoint.
-        let keep_from = seq.0.saturating_sub(4 * self.checkpoint_interval());
-        self.cp_digests.retain(|s, _| s.0 >= keep_from || s.0 == 0);
-    }
-
-    pub(crate) fn rollback_batch(&mut self, seq: SeqNum, mark: &BatchMark) {
-        let _ = self.kv.rollback_to_batch(seq.0);
-        self.ledger.truncate_to(mark.ledger_len_before);
-        self.next_tx_index = mark.tx_index_before;
-        self.last_gov_index = mark.gov_index_before;
-        // A rolled-back batch can't have passed a referendum anymore.
-        if let Some(rc) = &self.reconfig {
-            if rc.vote_seq >= seq {
-                self.reconfig = None;
-            }
-        }
-        self.checkpoints.truncate_after(SeqNum(seq.0.saturating_sub(1)));
-    }
-
-    // ------------------------------------------------------------------
-    // Prepare / prepared (Alg. 1 lines 27–38).
-    // ------------------------------------------------------------------
-
-    fn on_prepare(&mut self, p: Prepare) {
-        let config = self.gov.active().clone();
-        if config.rank_of(p.replica).is_none() {
-            return;
-        }
-        if !self.verify_replica_payload(&config, p.replica, &p.own_payload(), &p.sig) {
-            return;
-        }
-        self.msgs.put_prepare(p);
-        self.try_advance_prepared();
-        self.try_advance_committed();
-    }
-
-    /// Advance the contiguous prepared frontier (batchPrepared, line 30).
-    pub(crate) fn try_advance_prepared(&mut self) {
-        loop {
-            let next = self.prepared_up_to.next();
-            // The slot must have a pre-prepare we executed in our view.
-            let view = self.view;
-            let Some(slot) = self.msgs.slot(next, view) else {
-                return;
-            };
-            if slot.pp.is_none() || !self.batch_exec.contains_key(&next) {
-                return;
-            }
-            let quorum = self.config_for_seq(next).quorum();
-            let i_am_primary = self.gov.active().primary_of(view) == self.id;
-            let matching = self.msgs.matching_prepares(next, view).len();
-            // The pre-prepare counts as the primary's prepare; a backup's
-            // own prepare is in the store already.
-            let have = matching + 1; // + primary's pre-prepare
-            let own_ok = i_am_primary
-                || self
-                    .msgs
-                    .slot(next, view)
-                    .map(|s| s.prepares.contains_key(&self.id))
-                    .unwrap_or(false);
-            if have < quorum || !own_ok {
-                return;
-            }
-            self.mark_prepared(next, view);
-        }
-    }
-
-    fn mark_prepared(&mut self, seq: SeqNum, view: View) {
-        self.msgs.slot_mut(seq, view).prepared = true;
-        self.prepared_up_to = seq;
-        self.prepared_view.insert(seq, view);
-        self.note_progress();
-
-        // Send commit, revealing the nonce (line 32).
-        let nonce = self.my_nonces[&(view.0, seq.0)];
-        let commit = Commit { view, seq, replica: self.id, nonce };
-        self.msgs.put_commit(&commit);
-        self.broadcast(ProtocolMsg::Commit(commit));
-
-        // Replies to clients (lines 34–38).
-        self.send_replies(seq, view);
-        self.try_advance_committed();
-    }
-
-    fn send_replies(&mut self, seq: SeqNum, view: View) {
-        let Some(exec) = self.batch_exec.get(&seq) else {
-            return;
-        };
-        let Some(slot) = self.msgs.slot(seq, view) else {
-            return;
-        };
-        let Some((pp, _)) = slot.pp.clone() else {
-            return;
-        };
-        let i_am_primary = pp.core.primary == self.id;
-        let my_sig = if i_am_primary {
-            pp.sig
-        } else {
-            match slot.prepares.get(&self.id) {
-                Some(p) => p.sig,
-                None => return,
-            }
-        };
-        let nonce = self.my_nonces[&(view.0, seq.0)];
-        let exec = exec.clone();
-
-        if self.params.peer_review {
-            // PeerReview signs a reply per *transaction* (§6.1) — model the
-            // signature cost.
-            for et in &exec.txs {
-                let _ = self.keypair.sign(et.result.digest().as_ref());
-            }
-        }
-
-        // One reply per client per batch, listing that client's request
-        // ids (§3.3).
-        let mut per_client: BTreeMap<ClientId, Vec<u64>> = BTreeMap::new();
-        for et in &exec.txs {
-            if et.client == ClientId(0) {
-                continue; // system transaction
-            }
-            let req_id = self
-                .req_store
-                .get(&et.request_digest)
-                .map(|r| r.request.req_id)
-                .unwrap_or(0);
-            per_client.entry(et.client).or_default().push(req_id);
-        }
-        for (client, req_ids) in per_client {
-            self.send_client(
-                client,
-                ProtocolMsg::Reply(Reply {
-                    view,
-                    seq,
-                    replica: self.id,
-                    sig: my_sig,
-                    nonce,
-                    req_ids,
-                }),
-            );
-        }
-        for et in &exec.txs {
-            if et.client == ClientId(0) {
-                continue;
-            }
-            if self.params.issue_receipts && self.is_designated(&et.request_digest) {
-                let path = exec
-                    .tree
-                    .path(exec.txs.iter().position(|t| t.index == et.index).unwrap() as u64)
-                    .expect("leaf exists");
-                self.send_client(
-                    et.client,
-                    ProtocolMsg::ReplyX(ReplyX {
-                        core: pp.core.clone(),
-                        primary_sig: pp.sig,
-                        tx_hash: et.request_digest,
-                        index: et.index,
-                        result: et.result.clone(),
-                        path,
-                    }),
-                );
-            }
-        }
-    }
-
-    /// The designated replyx replica for a request: rank `H(t) mod N`
-    /// ("chosen based on t", §3.3).
-    pub(crate) fn is_designated(&self, tx_hash: &Digest) -> bool {
-        let config = self.gov.active();
-        let rank = (u64::from_le_bytes(tx_hash.as_ref()[..8].try_into().unwrap())
-            % config.n() as u64) as usize;
-        config.replica_at_rank(rank).map(|r| r.id) == Some(self.id)
-    }
-
-    // ------------------------------------------------------------------
-    // Commit / committed (Alg. 1 line 39).
-    // ------------------------------------------------------------------
-
-    fn on_commit(&mut self, sender: ReplicaId, c: Commit) {
-        if c.replica != sender {
-            return; // authenticated channel: senders can't impersonate
-        }
-        self.msgs.put_commit(&c);
-        self.try_advance_committed();
-        // A late commit (typically the primary's, which prepares last) may
-        // unblock a deferred governance receipt.
-        self.retry_pending_gov_receipts();
-    }
-
-    /// Advance the contiguous committed frontier: a batch commits once
-    /// `N − f` valid nonces (matching the signed commitments) are in.
-    pub(crate) fn try_advance_committed(&mut self) {
-        loop {
-            let next = self.committed_up_to.next();
-            let Some(&view) = self.prepared_view.get(&next) else {
-                return;
-            };
-            let quorum = self.config_for_seq(next).quorum();
-            let valid = self.valid_commit_nonces(next, view);
-            if valid.len() < quorum {
-                return;
-            }
-            self.mark_committed(next, view);
-        }
-    }
-
-    /// The commit nonces for `(seq, view)` whose hashes match the signed
-    /// commitments (pp for the primary, prepare for backups).
-    pub(crate) fn valid_commit_nonces(&self, seq: SeqNum, view: View) -> Vec<(ReplicaId, Nonce)> {
-        let Some(slot) = self.msgs.slot(seq, view) else {
-            return Vec::new();
-        };
-        let Some((pp, _)) = &slot.pp else {
-            return Vec::new();
-        };
-        slot.commits
-            .iter()
-            .filter(|(r, nonce)| {
-                let commitment = if **r == pp.core.primary {
-                    Some(pp.core.nonce_commit)
-                } else {
-                    slot.prepares.get(r).map(|p| p.nonce_commit)
-                };
-                commitment.is_some_and(|c| c.opens_with(nonce))
-            })
-            .map(|(r, n)| (*r, *n))
-            .collect()
-    }
-
-    fn mark_committed(&mut self, seq: SeqNum, view: View) {
-        self.msgs.slot_mut(seq, view).committed = true;
-        self.committed_up_to = seq;
-        self.note_progress();
-        let tx_count = self.batch_exec.get(&seq).map(|e| e.txs.len()).unwrap_or(0);
-        self.out.push(Output::Committed { seq, tx_count });
-
-        // Committed batches beyond the pipeline can no longer roll back.
-        let release = seq.0.saturating_sub(self.pipeline_depth());
-        self.kv.release_batches_up_to(release);
-
-        // Build governance receipts (§5.2) while evidence is at hand.
-        self.build_gov_receipts(seq, view);
-
-        // Retirement completes once the switch batch commits (§5.1).
-        self.maybe_retire(seq);
-
-        // Prune execution state we no longer need (keep a window for
-        // receipt re-serving).
-        let keep_from = seq.0.saturating_sub(64);
-        self.batch_exec.retain(|s, _| s.0 > keep_from);
-        let p = self.pipeline_depth();
-        self.batch_marks.retain(|s, _| s.0 + 2 * p > seq.0);
-        let compact_to = seq.0.saturating_sub(4 * self.pipeline_depth().max(8));
-        self.msgs.compact(SeqNum(compact_to), View(self.view.0.saturating_sub(2)));
-    }
-
-    // ------------------------------------------------------------------
-    // Evidence (§3.1).
-    // ------------------------------------------------------------------
-
-    /// Build the commitment evidence to attach to the pre-prepare at `seq`:
-    /// quorum − 1 prepares and quorum nonces for the batch at `seq − P`.
-    pub(crate) fn build_evidence(&self, seq: SeqNum) -> Option<EvidenceSet> {
-        let p = self.pipeline_depth();
-        if seq.0 <= p {
-            return None;
-        }
-        let target = SeqNum(seq.0 - p);
-        let view = *self.prepared_view.get(&target)?;
-        let slot = self.msgs.slot(target, view)?;
-        let (pp, _) = slot.pp.as_ref()?;
-        let config = self.config_for_seq(target).clone();
-        let config = &config;
-        let quorum = config.quorum();
-
-        // Pick the quorum: the primary of the evidenced batch plus backups
-        // with both a matching prepare and a valid commit nonce, lowest
-        // ranks first (deterministic given the bitmap).
-        let nonces_by_replica: BTreeMap<ReplicaId, Nonce> =
-            self.valid_commit_nonces(target, view).into_iter().collect();
-        let primary = pp.core.primary;
-        if !nonces_by_replica.contains_key(&primary) {
-            return None;
-        }
-        let ppd = slot.pp_digest?;
-        let mut chosen: Vec<ReplicaId> = vec![primary];
-        for (r, prep) in &slot.prepares {
-            if chosen.len() >= quorum {
-                break;
-            }
-            if *r != primary && prep.pp_digest == ppd && nonces_by_replica.contains_key(r) {
-                chosen.push(*r);
-            }
-        }
-        if chosen.len() < quorum {
-            return None;
-        }
-        chosen.sort_unstable();
-        let mut bitmap = ReplicaBitmap::empty();
-        let mut prepares = Vec::new();
-        let mut nonces = Vec::new();
-        for r in &chosen {
-            bitmap.set(config.rank_of(*r)?);
-            nonces.push(nonces_by_replica[r]);
-            if *r != primary {
-                prepares.push(slot.prepares[r].clone());
-            }
-        }
-        Some(EvidenceSet { seq: target, bitmap, prepares, nonces })
-    }
-
-    /// A backup reconstructs the evidence bytes the primary chose, from its
-    /// own message store (messages are signed, hence byte-identical).
-    fn reconstruct_evidence(&self, pp: &PrePrepare) -> Option<EvidenceSet> {
-        let target = pp.core.evidence_seq;
-        let view = *self.prepared_view.get(&target)?;
-        let slot = self.msgs.slot(target, view)?;
-        let (target_pp, _) = slot.pp.as_ref()?;
-        let config = self.config_for_seq(target).clone();
-        let config = &config;
-        let primary = target_pp.core.primary;
-        let primary_rank = config.rank_of(primary)?;
-        let mut prepares = Vec::new();
-        let mut nonces = Vec::new();
-        for rank in pp.core.evidence_bitmap.iter() {
-            let desc = config.replica_at_rank(rank)?;
-            let nonce = slot.commits.get(&desc.id)?;
-            nonces.push(*nonce);
-            if rank != primary_rank {
-                prepares.push(slot.prepares.get(&desc.id)?.clone());
-            }
-        }
-        Some(EvidenceSet { seq: target, bitmap: pp.core.evidence_bitmap, prepares, nonces })
-    }
-
-    // ------------------------------------------------------------------
-    // Governance receipts (§5.2).
-    // ------------------------------------------------------------------
-
-    /// The batch certificate for a committed batch, assembled from the
-    /// message store — the same data clients assemble from replies.
-    pub fn build_batch_certificate(&self, seq: SeqNum, view: View) -> Option<BatchCertificate> {
-        let dbg = std::env::var_os("IACCF_DEBUG").is_some();
-        let Some(slot) = self.msgs.slot(seq, view) else {
-            if dbg { eprintln!("[{}] cert {seq}: no slot at {view}", self.id); }
-            return None;
-        };
-        let Some((pp, _)) = slot.pp.as_ref() else {
-            if dbg { eprintln!("[{}] cert {seq}: no pp (prepares={} commits={})", self.id, slot.prepares.len(), slot.commits.len()); }
-            return None;
-        };
-        let config = self.config_for_seq(seq).clone();
-        let config = &config;
-        let quorum = config.quorum();
-        let nonces_by_replica: BTreeMap<ReplicaId, Nonce> =
-            self.valid_commit_nonces(seq, view).into_iter().collect();
-        let ppd = slot.pp_digest?;
-        let primary = pp.core.primary;
-        if !nonces_by_replica.contains_key(&primary) {
-            if dbg {
-                eprintln!(
-                    "[{}] cert {seq}: primary nonce missing (commits from {:?})",
-                    self.id,
-                    slot.commits.keys().collect::<Vec<_>>()
-                );
-            }
-            return None;
-        }
-        let mut chosen = vec![primary];
-        for (r, prep) in &slot.prepares {
-            if chosen.len() >= quorum {
-                break;
-            }
-            if *r != primary && prep.pp_digest == ppd && nonces_by_replica.contains_key(r) {
-                chosen.push(*r);
-            }
-        }
-        if chosen.len() < quorum {
-            if dbg {
-                eprintln!(
-                    "[{}] cert {seq}: chosen {}/{quorum} (prepares from {:?}, nonces from {:?})",
-                    self.id,
-                    chosen.len(),
-                    slot.prepares.keys().collect::<Vec<_>>(),
-                    nonces_by_replica.keys().collect::<Vec<_>>(),
-                );
-            }
-            return None;
-        }
-        chosen.sort_unstable();
-        let mut signers = ReplicaBitmap::empty();
-        let mut prepare_sigs = Vec::new();
-        let mut nonces = Vec::new();
-        for r in &chosen {
-            signers.set(config.rank_of(*r)?);
-            nonces.push(nonces_by_replica[r]);
-            if *r != primary {
-                prepare_sigs.push(slot.prepares[r].sig);
-            }
-        }
-        Some(BatchCertificate {
-            core: pp.core.clone(),
-            primary_sig: pp.sig,
-            signers,
-            prepare_sigs,
-            nonces,
-        })
-    }
-
-    fn build_gov_receipts(&mut self, seq: SeqNum, view: View) {
-        if !self.params.issue_receipts || !self.params.ledger_enabled {
-            return;
-        }
-        let dbg = std::env::var_os("IACCF_DEBUG").is_some();
-        let Some(exec) = self.batch_exec.get(&seq) else {
-            if dbg {
-                eprintln!("[{}] gov_receipts {seq}: no batch_exec", self.id);
-            }
-            return;
-        };
-        let has_gov_tx = exec.txs.iter().any(|t| t.is_governance);
-        let p = self.pipeline_depth() as u32;
-        let is_boundary = matches!(exec.kind, BatchKind::EndOfConfig { phase } if phase == p || phase == 2 * p);
-        if !has_gov_tx && !is_boundary {
-            return;
-        }
-        let Some(cert) = self.build_batch_certificate(seq, view) else {
-            if dbg {
-                eprintln!("[{}] gov_receipts {seq}: certificate deferred", self.id);
-            }
-            if !self.pending_gov_receipts.contains(&(seq, view)) {
-                self.pending_gov_receipts.push((seq, view));
-            }
-            return;
-        };
-        let exec = exec.clone();
-        for (pos, et) in exec.txs.iter().enumerate() {
-            if !et.is_governance {
-                continue;
-            }
-            let receipt = Receipt {
-                cert: cert.clone(),
-                body: ReceiptBody::Tx(TxWitness {
-                    tx_hash: et.request_digest,
-                    index: et.index,
-                    result: et.result.clone(),
-                    path: exec.tree.path(pos as u64).expect("leaf exists"),
-                }),
-            };
-            let request = self.req_store.get(&et.request_digest).cloned();
-            if let Some(request) = request {
-                self.insert_gov_link(GovLink::GovTx { request, receipt });
-            }
-        }
-        if let BatchKind::EndOfConfig { phase } = exec.kind {
-            if phase == p {
-                self.insert_gov_link(GovLink::Boundary {
-                    receipt: Receipt {
-                        cert: cert.clone(),
-                        body: ReceiptBody::Batch { root_g: Digest::zero() },
-                    },
-                });
-            }
-        }
-    }
-
-    /// Insert a governance link keeping the chain in ledger order (deferred
-    /// certificates can complete out of order).
-    fn insert_gov_link(&mut self, link: GovLink) {
-        let key = |l: &GovLink| {
-            let r = l.receipt();
-            (r.seq(), r.tx_index().map(|i| i.0).unwrap_or(u64::MAX))
-        };
-        let k = key(&link);
-        if self.gov_chain.iter().any(|l| key(l) == k) {
-            return; // already present (retry after partial completion)
-        }
-        let pos = self.gov_chain.partition_point(|l| key(l) <= k);
-        self.gov_chain.insert(pos, link);
-    }
-
-    /// Retry deferred governance receipts (called when new commits arrive).
-    pub(crate) fn retry_pending_gov_receipts(&mut self) {
-        if self.pending_gov_receipts.is_empty() {
-            return;
-        }
-        let pending = std::mem::take(&mut self.pending_gov_receipts);
-        for (seq, view) in pending {
-            self.build_gov_receipts(seq, view);
-        }
-    }
-
-    fn serve_gov_receipts(&mut self, client: ClientId, _from_index: LedgerIdx) {
-        // Serve the full chain; clients dedupe. Chains are small (§6.4).
-        let receipts = self
-            .gov_chain
-            .iter()
-            .map(|l| match l {
-                GovLink::GovTx { request, receipt } => {
-                    (Some(request.clone()), receipt.clone())
-                }
-                GovLink::Boundary { receipt } => (None, receipt.clone()),
-            })
-            .collect();
-        self.send_client(client, ProtocolMsg::GovReceipts { receipts });
-    }
-
-    fn serve_receipt_refetch(&mut self, client: ClientId, tx_hash: Digest) {
-        // Find the batch containing the request and re-send reply + replyx.
-        for (seq, exec) in self.batch_exec.iter() {
-            if let Some(pos) = exec.txs.iter().position(|t| t.request_digest == tx_hash) {
-                let et = &exec.txs[pos];
-                let view = exec.view;
-                let Some(slot) = self.msgs.slot(*seq, view) else {
-                    return;
-                };
-                let Some((pp, _)) = slot.pp.clone() else {
-                    return;
-                };
-                let my_sig = if pp.core.primary == self.id {
-                    pp.sig
-                } else {
-                    match slot.prepares.get(&self.id) {
-                        Some(p) => p.sig,
-                        None => return,
-                    }
-                };
-                let Some(nonce) = self.my_nonces.get(&(view.0, seq.0)).copied() else {
-                    return;
-                };
-                let reply = Reply {
-                    view,
-                    seq: *seq,
-                    replica: self.id,
-                    sig: my_sig,
-                    nonce,
-                    req_ids: vec![self
-                        .req_store
-                        .get(&tx_hash)
-                        .map(|r| r.request.req_id)
-                        .unwrap_or(0)],
-                };
-                let replyx = ReplyX {
-                    core: pp.core.clone(),
-                    primary_sig: pp.sig,
-                    tx_hash,
-                    index: et.index,
-                    result: et.result.clone(),
-                    path: exec.tree.path(pos as u64).expect("leaf exists"),
-                };
-                self.send_client(client, ProtocolMsg::Reply(reply));
-                self.send_client(client, ProtocolMsg::ReplyX(replyx));
-                return;
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Fetch serving (view-change sync, bootstrap).
-    // ------------------------------------------------------------------
-
-    fn serve_evidence_fetch(&mut self, sender: ReplicaId, seq: SeqNum) {
-        let Some(&view) = self.prepared_view.get(&seq) else {
-            return;
-        };
-        let Some(slot) = self.msgs.slot(seq, view) else {
-            return;
-        };
-        let prepares: Vec<Prepare> = slot.prepares.values().cloned().collect();
-        let commits: Vec<Commit> = slot
-            .commits
-            .iter()
-            .map(|(r, n)| Commit { view, seq, replica: *r, nonce: *n })
-            .collect();
-        self.send_replica(sender, ProtocolMsg::FetchEvidenceResponse { prepares, commits });
-    }
-
-    fn serve_ledger_fetch(&mut self, sender: ReplicaId, from_seq: SeqNum) {
-        let from_pos = self
-            .batch_ledger_pos
-            .range(from_seq..)
-            .next()
-            .map(|(_, pos)| *pos)
-            .unwrap_or(self.ledger.len());
-        let entries = self.ledger.encode_range(LedgerIdx(from_pos), LedgerIdx(self.ledger.len()));
-        self.send_replica(sender, ProtocolMsg::FetchLedgerResponse { entries });
-    }
-
-    fn on_ledger_response(&mut self, entries: Vec<Vec<u8>>) {
-        self.handle_vc_ledger_response(entries);
     }
 
     // ------------------------------------------------------------------
@@ -1743,15 +478,6 @@ impl Replica {
         let scp = receipt_checkpoint_seq(seq, self.checkpoint_interval());
         self.cp_digests.get(&scp).copied().unwrap_or_else(Digest::zero)
     }
-}
-
-/// The commitment evidence for one batch: `P_s` and `K_s` plus the bitmap.
-#[derive(Debug, Clone)]
-pub(crate) struct EvidenceSet {
-    pub seq: SeqNum,
-    pub bitmap: ReplicaBitmap,
-    pub prepares: Vec<Prepare>,
-    pub nonces: Vec<Nonce>,
 }
 
 /// MAC-mode authenticator: a keyed hash folded to signature width. Not a

@@ -382,12 +382,31 @@ impl Replica {
                 }
             }
         }
-        if let Some(mark) = self.batch_marks.get(&first_rolled).copied() {
+        // Batches that executed but never *prepared* (their prepares were
+        // lost before the view change) have no prepared_view entry; their
+        // requests live only in the BatchMark-guarded execution state.
+        // Without re-queueing them here, the executed_reqs dedupe would
+        // drop them forever once the batch rolls back. (Note: governance
+        // requests carry the member id in the client field — member 0 is
+        // ClientId(0) — so system requests are excluded by `is_system`
+        // below, never by client id.)
+        for exec in self.batch_exec.range(first_rolled..).map(|(_, e)| e) {
+            requeue.extend(exec.txs.iter().map(|t| t.request_digest));
+        }
+        let mut seen = std::collections::HashSet::new();
+        requeue.retain(|d| seen.insert(*d));
+        let already_pending: std::collections::HashSet<Digest> =
+            self.pending_reqs.iter().copied().collect();
+        if let Some(mark) = self.batch_marks.get(&first_rolled).cloned() {
             self.rollback_batch(first_rolled, &mark);
         }
         for d in requeue {
             self.executed_reqs.remove(&d);
-            if self.req_store.contains_key(&d) {
+            // System requests (checkpoint marks) are regenerated by the
+            // schedule — re-queueing one would smuggle it into a Regular
+            // batch.
+            let requeueable = self.req_store.get(&d).is_some_and(|r| !r.is_system());
+            if requeueable && !already_pending.contains(&d) {
                 self.pending_reqs.push_front(d);
             }
         }

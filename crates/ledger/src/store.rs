@@ -72,6 +72,31 @@ impl Ledger {
         LedgerIdx(idx)
     }
 
+    /// Append a whole batch's entries with one reservation per backing
+    /// store — the entry list grows once and the Merkle tree `M` absorbs
+    /// all the batch's leaves in a single [`MerkleTree::extend`] pass
+    /// (§3.4: per-request cost amortized across the batch). Byte-for-byte
+    /// equivalent to appending each entry in order. Returns the index of
+    /// the first appended entry (the batch's segment start).
+    pub fn append_batch(&mut self, batch: Vec<LedgerEntry>) -> LedgerIdx {
+        let first = self.entries.len() as u64;
+        let mut m_leaves: Vec<Digest> = Vec::new();
+        for (off, entry) in batch.iter().enumerate() {
+            let idx = first + off as u64;
+            if entry.is_m_leaf() {
+                m_leaves.push(entry.m_leaf());
+                self.m_leaf_entries.push(idx);
+            }
+            if let LedgerEntry::PrePrepare(pp) = entry {
+                self.pp_by_seq.insert(pp.seq(), idx as usize);
+            }
+        }
+        self.tree.extend(m_leaves);
+        self.entries.reserve(batch.len());
+        self.entries.extend(batch);
+        LedgerIdx(first)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> u64 {
         self.entries.len() as u64
@@ -319,6 +344,50 @@ mod tests {
         ledger.append(LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])));
         ledger.append(LedgerEntry::PrePrepare(test_pp(2, 3, &rk[2])));
         assert_eq!(ledger.views_present(), vec![View(0), View(2)]);
+    }
+
+    #[test]
+    fn append_batch_matches_sequential_appends() {
+        let (mut batched, rk) = ledger4();
+        let (mut sequential, _) = ledger4();
+        let entries: Vec<LedgerEntry> = vec![
+            LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])),
+            LedgerEntry::Nonces { seq: SeqNum(2), nonces: vec![Nonce([2; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])),
+        ];
+        let first = batched.append_batch(entries.clone());
+        assert_eq!(first, LedgerIdx(1), "segment starts after genesis");
+        for e in entries {
+            sequential.append(e);
+        }
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.root_m(), sequential.root_m());
+        assert_eq!(batched.m_leaf_count(), sequential.m_leaf_count());
+        for i in 0..batched.len() {
+            assert_eq!(batched.entry(LedgerIdx(i)), sequential.entry(LedgerIdx(i)), "entry {i}");
+        }
+        assert_eq!(
+            batched.pp_index_at(SeqNum(2)),
+            sequential.pp_index_at(SeqNum(2)),
+            "seq index tracks batched appends"
+        );
+        // Truncation still unwinds batched appends entry by entry.
+        batched.truncate_to(3);
+        sequential.truncate_to(3);
+        assert_eq!(batched.root_m(), sequential.root_m());
+        assert!(batched.pp_at(SeqNum(2)).is_none());
+    }
+
+    #[test]
+    fn append_batch_empty_is_noop() {
+        let (mut ledger, _) = ledger4();
+        let len = ledger.len();
+        let root = ledger.root_m();
+        let first = ledger.append_batch(Vec::new());
+        assert_eq!(first, LedgerIdx(len));
+        assert_eq!(ledger.len(), len);
+        assert_eq!(ledger.root_m(), root);
     }
 
     #[test]

@@ -27,9 +27,7 @@ impl MerkleTree {
     /// Build a tree from a leaf sequence.
     pub fn from_leaves(leaves: impl IntoIterator<Item = Digest>) -> Self {
         let mut t = Self::new();
-        for l in leaves {
-            t.append(l);
-        }
+        t.extend(leaves);
         t
     }
 
@@ -79,6 +77,50 @@ impl MerkleTree {
             }
             lvl += 1;
             idx = parent_idx;
+        }
+    }
+
+    /// Append many leaves at once (batch amortization, §3.4).
+    ///
+    /// Equivalent to calling [`MerkleTree::append`] for each leaf, but
+    /// each level of the pyramid is rebuilt in a single pass per batch —
+    /// one reservation and one contiguous recompute from the first dirty
+    /// node — instead of one right-edge walk per leaf.
+    pub fn extend(&mut self, leaves: impl IntoIterator<Item = Digest>) {
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        let old_len = self.levels[0].len();
+        self.levels[0].extend(leaves);
+        if self.levels[0].len() == old_len {
+            return;
+        }
+        // Recompute parents upward starting at the first node whose
+        // children changed; the old right edge may have been a promoted
+        // node, so it counts as dirty.
+        let mut dirty = old_len.saturating_sub(1);
+        let mut lvl = 0;
+        while self.levels[lvl].len() > 1 {
+            let parent_len = self.levels[lvl].len().div_ceil(2);
+            let first_parent = dirty / 2;
+            if lvl + 1 == self.levels.len() {
+                self.levels.push(Vec::new());
+            }
+            let (lower, upper) = self.levels.split_at_mut(lvl + 1);
+            let cur = &lower[lvl];
+            let up = &mut upper[0];
+            up.truncate(first_parent);
+            up.reserve(parent_len - first_parent);
+            for pi in first_parent..parent_len {
+                let left = cur[2 * pi];
+                let parent = match cur.get(2 * pi + 1) {
+                    Some(right) => hash_pair(&left, right),
+                    None => left,
+                };
+                up.push(parent);
+            }
+            dirty = first_parent;
+            lvl += 1;
         }
     }
 
@@ -209,6 +251,53 @@ mod tests {
             tree.append(*l);
             assert_eq!(tree.root(), naive_root(&ls[..=i]), "size {}", i + 1);
         }
+    }
+
+    #[test]
+    fn extend_matches_sequential_appends_for_all_small_splits() {
+        let ls = leaves(48);
+        for old in 0..=16usize {
+            for add in 0..=16usize {
+                let mut by_extend = MerkleTree::new();
+                for l in &ls[..old] {
+                    by_extend.append(*l);
+                }
+                by_extend.extend(ls[old..old + add].iter().copied());
+
+                let mut by_append = MerkleTree::new();
+                for l in &ls[..old + add] {
+                    by_append.append(*l);
+                }
+                assert_eq!(by_extend.root(), by_append.root(), "old={old} add={add}");
+                assert_eq!(by_extend.len(), by_append.len());
+                // The interior must match too, or later paths diverge.
+                for i in 0..(old + add) as u64 {
+                    assert_eq!(
+                        by_extend.path(i).unwrap(),
+                        by_append.path(i).unwrap(),
+                        "old={old} add={add} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_empty_batch_is_noop() {
+        let mut t = MerkleTree::from_leaves(leaves(5));
+        let root = t.root();
+        t.extend(std::iter::empty());
+        assert_eq!(t.root(), root);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn extend_after_truncate_reconverges() {
+        let ls = leaves(30);
+        let mut t = MerkleTree::from_leaves(ls.iter().copied());
+        t.truncate(11);
+        t.extend(ls[11..].iter().copied());
+        assert_eq!(t.root(), naive_root(&ls));
     }
 
     #[test]

@@ -10,14 +10,21 @@
 //! * [`bus`] — a threaded in-memory message bus with per-link latency
 //!   injection and sender authentication (the paper's MbedTLS channels are
 //!   modelled by the bus stamping unforgeable sender ids).
-//! * [`tcp`] — a real localhost TCP transport with length-prefixed frames
-//!   (one reader thread per connection, graceful shutdown), used by the
-//!   `tcp_cluster` example to run the protocol over actual sockets.
+//! * [`frame`] — the single length-prefixed frame codec shared by every
+//!   transport: scratch-buffer encoding (no per-message allocation on the
+//!   hot path), hostile-prefix-safe decoding, and [`frame::FramedEndpoint`]
+//!   for byte-framed traffic over the bus.
+//! * [`tcp`] — a real localhost TCP transport speaking [`frame`] frames
+//!   (one reader thread per connection, single-write sends, graceful
+//!   shutdown), used by the `tcp_cluster` example to run the protocol over
+//!   actual sockets.
 
 pub mod bus;
+pub mod frame;
 pub mod latency;
 pub mod tcp;
 
 pub use bus::{Bus, BusEndpoint, Envelope};
+pub use frame::{FrameError, FramedEndpoint};
 pub use latency::LatencyModel;
 pub use tcp::{TcpNode, TcpPeer};

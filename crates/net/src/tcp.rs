@@ -1,11 +1,13 @@
 //! Length-prefixed TCP transport.
 //!
 //! A real-socket transport for running IA-CCF nodes as separate threads or
-//! processes on localhost (the `tcp_cluster` example). Framing follows the
-//! classic pattern from the networking guides: a `u32` little-endian length
-//! prefix, then the payload bytes. Each accepted/established connection
+//! processes on localhost (the `tcp_cluster` example). Framing is the
+//! shared [`crate::frame`] codec (a `u32` little-endian length prefix,
+//! then the payload bytes — the same codec the in-memory bus layers over
+//! [`crate::frame::FramedEndpoint`]). Each accepted/established connection
 //! gets a reader thread that pushes `(peer, frame)` into a shared channel;
-//! writes go directly to the socket under a per-connection lock.
+//! writes coalesce header and payload into a per-connection scratch buffer
+//! and hit the socket with a single `write` under the connection lock.
 //!
 //! Peer identity: on connect, a node sends an 8-byte hello with its
 //! address. In the paper the channel is authenticated by MbedTLS; here the
@@ -24,21 +26,30 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-/// Maximum accepted frame size (64 MiB) — guards against corrupt prefixes.
-const MAX_FRAME: u32 = 64 * 1024 * 1024;
+use crate::frame;
 
-/// A connected peer.
+/// A connected peer: the write half of the stream plus a reusable frame
+/// scratch, under one lock (framing and writing are a single critical
+/// section, so frames can never interleave).
 pub struct TcpPeer {
-    stream: Mutex<TcpStream>,
+    writer: Mutex<(TcpStream, Vec<u8>)>,
 }
 
 impl TcpPeer {
-    /// Send one frame.
+    fn new(stream: TcpStream) -> Self {
+        TcpPeer { writer: Mutex::new((stream, Vec::new())) }
+    }
+
+    /// Send one frame with a single `write` call; the encode scratch is
+    /// reused across sends on this connection.
     pub fn send(&self, payload: &[u8]) -> std::io::Result<()> {
-        let mut stream = self.stream.lock();
-        stream.write_all(&(payload.len() as u32).to_le_bytes())?;
-        stream.write_all(payload)?;
-        Ok(())
+        let mut guard = self.writer.lock();
+        let (stream, scratch) = &mut *guard;
+        frame::write_frame(stream, payload, scratch)
+    }
+
+    fn shutdown(&self) {
+        let _ = self.writer.lock().0.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -131,31 +142,26 @@ impl TcpNode {
             stream.write_all(&self.address.to_le_bytes())?;
         }
         let write_half = stream.try_clone()?;
-        self.peers.lock().insert(peer, Arc::new(TcpPeer { stream: Mutex::new(write_half) }));
+        self.peers.lock().insert(peer, Arc::new(TcpPeer::new(write_half)));
 
         let node = Arc::clone(self);
         std::thread::Builder::new().name(format!("tcp-read-{}-{peer}", self.address)).spawn(
             move || {
-                let mut len_buf = [0u8; 4];
+                let mut payload = Vec::new();
                 loop {
                     if node.shutdown.load(Ordering::Relaxed) {
                         return;
                     }
-                    if stream.read_exact(&mut len_buf).is_err() {
+                    // The shared codec rejects oversized prefixes before
+                    // allocating and errors on truncation/EOF.
+                    if frame::read_frame(&mut stream, &mut payload).is_err() {
                         node.peers.lock().remove(&peer);
                         return;
                     }
-                    let len = u32::from_le_bytes(len_buf);
-                    if len > MAX_FRAME {
-                        node.peers.lock().remove(&peer);
-                        return;
-                    }
-                    let mut payload = vec![0u8; len as usize];
-                    if stream.read_exact(&mut payload).is_err() {
-                        node.peers.lock().remove(&peer);
-                        return;
-                    }
-                    if node.inbound_tx.send((peer, Bytes::from(payload))).is_err() {
+                    // The frame's storage moves into the channel; taking
+                    // it leaves an empty Vec for the next read.
+                    let frame = Bytes::from(std::mem::take(&mut payload));
+                    if node.inbound_tx.send((peer, frame)).is_err() {
                         return;
                     }
                 }
@@ -183,7 +189,7 @@ impl TcpNode {
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
         for (_, peer) in self.peers.lock().drain() {
-            let _ = peer.stream.lock().shutdown(std::net::Shutdown::Both);
+            peer.shutdown();
         }
     }
 }

@@ -161,6 +161,9 @@ impl Wire for TxResult {
             write_set_digest: Digest::decode(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.ok.encoded_len() + self.output.encoded_len() + self.write_set_digest.encoded_len()
+    }
 }
 
 impl Wire for TxLedgerEntry {
@@ -175,6 +178,9 @@ impl Wire for TxLedgerEntry {
             index: LedgerIdx::decode(r)?,
             result: TxResult::decode(r)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.request.encoded_len() + self.index.encoded_len() + self.result.encoded_len()
     }
 }
 

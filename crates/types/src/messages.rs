@@ -14,7 +14,7 @@ use crate::entry::TxResult;
 use crate::ids::{LedgerIdx, ReplicaBitmap, ReplicaId, SeqNum, View};
 use crate::receipt::Receipt;
 use crate::request::SignedRequest;
-use crate::wire::{decode_seq, encode_seq, CodecError, Reader, Wire};
+use crate::wire::{decode_seq, encode_seq, encoded_len_seq, CodecError, Reader, Wire};
 use ia_ccf_merkle::MerklePath;
 
 /// Domain tags for replica signatures.
@@ -450,6 +450,12 @@ impl Wire for BatchKind {
             tag => Err(CodecError::BadTag { context: "BatchKind", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            BatchKind::Regular | BatchKind::Checkpoint => 1,
+            BatchKind::EndOfConfig { .. } | BatchKind::StartOfConfig { .. } => 5,
+        }
+    }
 }
 
 impl Wire for PrePrepareCore {
@@ -481,6 +487,19 @@ impl Wire for PrePrepareCore {
             primary: ReplicaId::decode(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.view.encoded_len()
+            + self.seq.encoded_len()
+            + self.root_m.encoded_len()
+            + self.nonce_commit.encoded_len()
+            + self.evidence_seq.encoded_len()
+            + self.evidence_bitmap.encoded_len()
+            + self.gov_index.encoded_len()
+            + self.checkpoint_digest.encoded_len()
+            + self.kind.encoded_len()
+            + self.committed_root.encoded_len()
+            + self.primary.encoded_len()
+    }
 }
 
 impl Wire for PrePrepare {
@@ -495,6 +514,9 @@ impl Wire for PrePrepare {
             root_g: Digest::decode(r)?,
             sig: Signature::decode(r)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.core.encoded_len() + self.root_g.encoded_len() + self.sig.encoded_len()
     }
 }
 
@@ -517,6 +539,14 @@ impl Wire for Prepare {
             sig: Signature::decode(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.view.encoded_len()
+            + self.seq.encoded_len()
+            + self.replica.encoded_len()
+            + self.nonce_commit.encoded_len()
+            + self.pp_digest.encoded_len()
+            + self.sig.encoded_len()
+    }
 }
 
 impl Wire for Commit {
@@ -533,6 +563,12 @@ impl Wire for Commit {
             replica: ReplicaId::decode(r)?,
             nonce: Nonce::decode(r)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.view.encoded_len()
+            + self.seq.encoded_len()
+            + self.replica.encoded_len()
+            + self.nonce.encoded_len()
     }
 }
 
@@ -555,6 +591,14 @@ impl Wire for Reply {
             req_ids: decode_seq(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.view.encoded_len()
+            + self.seq.encoded_len()
+            + self.replica.encoded_len()
+            + self.sig.encoded_len()
+            + self.nonce.encoded_len()
+            + encoded_len_seq(&self.req_ids)
+    }
 }
 
 impl Wire for ReplyX {
@@ -576,6 +620,14 @@ impl Wire for ReplyX {
             path: MerklePath::decode(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.core.encoded_len()
+            + self.primary_sig.encoded_len()
+            + self.tx_hash.encoded_len()
+            + self.index.encoded_len()
+            + self.result.encoded_len()
+            + self.path.encoded_len()
+    }
 }
 
 impl Wire for ViewChange {
@@ -595,6 +647,13 @@ impl Wire for ViewChange {
             sig: Signature::decode(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.view.encoded_len()
+            + self.replica.encoded_len()
+            + encoded_len_seq(&self.pps)
+            + encoded_len_seq(&self.last_proof)
+            + self.sig.encoded_len()
+    }
 }
 
 impl Wire for NewViewMsg {
@@ -613,6 +672,13 @@ impl Wire for NewViewMsg {
             vc_entry_hash: Digest::decode(r)?,
             sig: Signature::decode(r)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.view.encoded_len()
+            + self.root_m.encoded_len()
+            + self.vc_bitmap.encoded_len()
+            + self.vc_entry_hash.encoded_len()
+            + self.sig.encoded_len()
     }
 }
 
@@ -752,6 +818,44 @@ impl Wire for ProtocolMsg {
                 commits: decode_seq(r)?,
             }),
             tag => Err(CodecError::BadTag { context: "ProtocolMsg", tag }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ProtocolMsg::Request(r) => r.encoded_len(),
+            ProtocolMsg::PrePrepare { pp, batch } => {
+                pp.encoded_len() + encoded_len_seq(batch)
+            }
+            ProtocolMsg::Prepare(p) => p.encoded_len(),
+            ProtocolMsg::Commit(c) => c.encoded_len(),
+            ProtocolMsg::Reply(r) => r.encoded_len(),
+            ProtocolMsg::ReplyX(r) => r.encoded_len(),
+            ProtocolMsg::ViewChange(vc) => vc.encoded_len(),
+            ProtocolMsg::NewView { nv, view_changes, resends } => {
+                nv.encoded_len()
+                    + encoded_len_seq(view_changes)
+                    + 4
+                    + resends
+                        .iter()
+                        .map(|(pp, batch)| pp.encoded_len() + encoded_len_seq(batch))
+                        .sum::<usize>()
+            }
+            ProtocolMsg::FetchRequests { hashes } => encoded_len_seq(hashes),
+            ProtocolMsg::FetchRequestsResponse { requests } => encoded_len_seq(requests),
+            ProtocolMsg::FetchLedger { from_seq } => from_seq.encoded_len(),
+            ProtocolMsg::FetchLedgerResponse { entries } => {
+                4 + entries.iter().map(Wire::encoded_len).sum::<usize>()
+            }
+            ProtocolMsg::FetchGovReceipts { from_index } => from_index.encoded_len(),
+            ProtocolMsg::GovReceipts { receipts } => encoded_len_seq(receipts),
+            ProtocolMsg::FetchReceipt { tx_hash } => tx_hash.encoded_len(),
+            ProtocolMsg::FetchEvidence { seq } => seq.encoded_len(),
+            ProtocolMsg::FetchEvidenceResponse { prepares, commits } => {
+                encoded_len_seq(prepares) + encoded_len_seq(commits)
+            }
+            ProtocolMsg::SignedAck { msg_digest, replica, sig } => {
+                msg_digest.encoded_len() + replica.encoded_len() + sig.encoded_len()
+            }
         }
     }
 }

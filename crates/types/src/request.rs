@@ -182,6 +182,16 @@ impl Wire for GovAction {
             tag => Err(CodecError::BadTag { context: "GovAction", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            GovAction::Propose { proposal_id, new_config } => {
+                proposal_id.encoded_len() + new_config.encoded_len()
+            }
+            GovAction::Vote { proposal_id, approve } => {
+                proposal_id.encoded_len() + approve.encoded_len()
+            }
+        }
+    }
 }
 
 impl Wire for SystemOp {
@@ -203,6 +213,15 @@ impl Wire for SystemOp {
                 tree_root: Digest::decode(r)?,
             }),
             tag => Err(CodecError::BadTag { context: "SystemOp", tag }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            SystemOp::CheckpointMark { checkpoint_seq, kv_digest, tree_root } => {
+                1 + checkpoint_seq.encoded_len()
+                    + kv_digest.encoded_len()
+                    + tree_root.encoded_len()
+            }
         }
     }
 }
@@ -233,6 +252,13 @@ impl Wire for RequestAction {
             tag => Err(CodecError::BadTag { context: "RequestAction", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            RequestAction::App { proc, args } => proc.encoded_len() + args.encoded_len(),
+            RequestAction::Governance(g) => g.encoded_len(),
+            RequestAction::System(s) => s.encoded_len(),
+        }
+    }
 }
 
 impl Wire for Request {
@@ -252,6 +278,13 @@ impl Wire for Request {
             req_id: u64::decode(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.action.encoded_len()
+            + self.client.encoded_len()
+            + self.gt_hash.encoded_len()
+            + self.min_index.encoded_len()
+            + self.req_id.encoded_len()
+    }
 }
 
 impl Wire for SignedRequest {
@@ -261,6 +294,9 @@ impl Wire for SignedRequest {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(SignedRequest { request: Request::decode(r)?, sig: Signature::decode(r)? })
+    }
+    fn encoded_len(&self) -> usize {
+        self.request.encoded_len() + self.sig.encoded_len()
     }
 }
 

@@ -76,6 +76,14 @@ impl<'a> Reader<'a> {
     }
 }
 
+thread_local! {
+    /// Scratch buffer backing the default [`Wire::encoded_len`]: after
+    /// warm-up, size queries encode into this retained buffer instead of
+    /// allocating. Taken/replaced (not borrowed) so nested `encoded_len`
+    /// calls degrade to a fresh allocation rather than a panic.
+    static LEN_SCRATCH: std::cell::Cell<Vec<u8>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
 /// Deterministic binary encoding/decoding.
 pub trait Wire: Sized {
     /// Append this value's encoding to `buf`.
@@ -83,6 +91,29 @@ pub trait Wire: Sized {
 
     /// Decode a value, consuming bytes from `r`.
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Exact size of the encoding in bytes.
+    ///
+    /// The default encodes into a thread-local scratch buffer and counts
+    /// — no allocation after warm-up. Hot types override this with plain
+    /// arithmetic so framing layers can reserve before encoding.
+    fn encoded_len(&self) -> usize {
+        let mut buf = LEN_SCRATCH.with(std::cell::Cell::take);
+        buf.clear();
+        self.encode(&mut buf);
+        let len = buf.len();
+        LEN_SCRATCH.with(|s| s.set(buf));
+        len
+    }
+
+    /// Encode into a caller-owned reusable scratch buffer, clearing it
+    /// first; returns the encoded bytes. The scratch keeps its capacity
+    /// across calls, so steady-state hot-path sends never reallocate.
+    fn encode_scratch<'a>(&self, scratch: &'a mut Vec<u8>) -> &'a [u8] {
+        scratch.clear();
+        self.encode(scratch);
+        scratch
+    }
 
     /// Encode to a fresh buffer.
     fn to_bytes(&self) -> Vec<u8> {
@@ -103,7 +134,7 @@ pub trait Wire: Sized {
 
     /// Size of the encoding in bytes (measured; drives Tab. 1).
     fn wire_len(&self) -> usize {
-        self.to_bytes().len()
+        self.encoded_len()
     }
 }
 
@@ -116,6 +147,9 @@ macro_rules! impl_wire_int {
             fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
                 let bytes = r.take(std::mem::size_of::<$t>())?;
                 Ok(<$t>::from_le_bytes(bytes.try_into().expect("size checked")))
+            }
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$t>()
             }
         }
     )*};
@@ -134,6 +168,9 @@ impl Wire for bool {
             tag => Err(CodecError::BadTag { context: "bool", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Wire for Vec<u8> {
@@ -148,15 +185,22 @@ impl Wire for Vec<u8> {
         }
         Ok(r.take(len as usize)?.to_vec())
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
 }
 
 impl Wire for String {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.as_bytes().to_vec().encode(buf);
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let bytes = Vec::<u8>::decode(r)?;
         String::from_utf8(bytes).map_err(|_| CodecError::BadTag { context: "utf8", tag: 0 })
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -175,6 +219,12 @@ impl<T: Wire> Wire for Option<T> {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
             tag => Err(CodecError::BadTag { context: "option", tag }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            None => 1,
+            Some(v) => 1 + v.encoded_len(),
         }
     }
 }
@@ -201,6 +251,11 @@ pub fn decode_seq<T: Wire>(r: &mut Reader<'_>) -> Result<Vec<T>, CodecError> {
     Ok(out)
 }
 
+/// Exact encoded size of a sequence written by [`encode_seq`].
+pub fn encoded_len_seq<T: Wire>(items: &[T]) -> usize {
+    4 + items.iter().map(Wire::encoded_len).sum::<usize>()
+}
+
 impl Wire for Digest {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(self.as_bytes());
@@ -208,6 +263,9 @@ impl Wire for Digest {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let bytes = r.take(DIGEST_LEN)?;
         Ok(Digest::from_slice(bytes).expect("length taken"))
+    }
+    fn encoded_len(&self) -> usize {
+        DIGEST_LEN
     }
 }
 
@@ -221,6 +279,9 @@ impl Wire for Signature {
         out.copy_from_slice(bytes);
         Ok(Signature(out))
     }
+    fn encoded_len(&self) -> usize {
+        SIGNATURE_LEN
+    }
 }
 
 impl Wire for Nonce {
@@ -233,6 +294,9 @@ impl Wire for Nonce {
         out.copy_from_slice(bytes);
         Ok(Nonce(out))
     }
+    fn encoded_len(&self) -> usize {
+        NONCE_LEN
+    }
 }
 
 impl Wire for NonceCommitment {
@@ -241,6 +305,9 @@ impl Wire for NonceCommitment {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(NonceCommitment(Digest::decode(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        DIGEST_LEN
     }
 }
 
@@ -253,6 +320,9 @@ impl Wire for ia_ccf_crypto::PublicKey {
         let mut out = [0u8; ia_ccf_crypto::PUBLIC_KEY_LEN];
         out.copy_from_slice(bytes);
         Ok(ia_ccf_crypto::PublicKey(out))
+    }
+    fn encoded_len(&self) -> usize {
+        ia_ccf_crypto::PUBLIC_KEY_LEN
     }
 }
 
@@ -269,6 +339,9 @@ impl Wire for ia_ccf_merkle::MerklePath {
             siblings: decode_seq(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        8 + 8 + encoded_len_seq(&self.siblings)
+    }
 }
 
 // Newtype ids.
@@ -280,6 +353,9 @@ macro_rules! impl_wire_newtype {
             }
             fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
                 Ok(Self(<$inner>::decode(r)?))
+            }
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$inner>()
             }
         }
     )*};
@@ -305,6 +381,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok((A::decode(r)?, B::decode(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
     }
 }
 
@@ -377,6 +456,42 @@ mod tests {
         let mut r = Reader::new(&buf);
         assert_eq!(decode_seq::<View>(&mut r).unwrap(), xs);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_primitives() {
+        assert_eq!(7u64.encoded_len(), 7u64.to_bytes().len());
+        assert_eq!(true.encoded_len(), 1);
+        let v = b"payload".to_vec();
+        assert_eq!(v.encoded_len(), v.to_bytes().len());
+        let s = String::from("héllo");
+        assert_eq!(s.encoded_len(), Wire::to_bytes(&s).len());
+        let some: Option<Vec<u8>> = Some(b"x".to_vec());
+        assert_eq!(some.encoded_len(), some.to_bytes().len());
+        let none: Option<Vec<u8>> = None;
+        assert_eq!(none.encoded_len(), 1);
+        let pair = (View(3), b"ab".to_vec());
+        assert_eq!(pair.encoded_len(), pair.to_bytes().len());
+    }
+
+    #[test]
+    fn string_encoding_matches_byte_string() {
+        // The direct String encode path must produce byte-identical output
+        // to encoding the equivalent Vec<u8> (ledger compatibility).
+        let s = String::from("governance");
+        assert_eq!(Wire::to_bytes(&s), s.as_bytes().to_vec().to_bytes());
+        assert_eq!(String::from_bytes(&Wire::to_bytes(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn encode_scratch_reuses_capacity() {
+        let mut scratch = Vec::new();
+        let first = 0xAABBCCDDu32;
+        assert_eq!(first.encode_scratch(&mut scratch), first.to_bytes());
+        let cap = scratch.capacity();
+        let second = 1u32;
+        assert_eq!(second.encode_scratch(&mut scratch), second.to_bytes());
+        assert_eq!(scratch.capacity(), cap, "no realloc for same-size encodes");
     }
 
     #[test]

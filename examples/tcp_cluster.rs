@@ -44,6 +44,8 @@ fn main() {
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
             let mut last_tick = Instant::now();
+            // Reusable wire-encode scratch: hot-path sends do not allocate.
+            let mut scratch = Vec::new();
             while !stop.load(Ordering::Relaxed) {
                 let input = match node.inbound.recv_timeout(Duration::from_millis(1)) {
                     Ok((peer, frame)) => match ProtocolMsg::from_bytes(&frame) {
@@ -68,18 +70,18 @@ fn main() {
                     for out in replica.handle(input) {
                         match out {
                             Output::SendReplica(to, msg) => {
-                                node.send(to.0 as u64, &msg.to_bytes());
+                                node.send(to.0 as u64, msg.encode_scratch(&mut scratch));
                             }
                             Output::BroadcastReplicas(msg) => {
-                                let bytes = msg.to_bytes();
+                                let bytes = msg.encode_scratch(&mut scratch);
                                 for peer in node.connected_peers() {
                                     if peer < 1000 {
-                                        node.send(peer, &bytes);
+                                        node.send(peer, bytes);
                                     }
                                 }
                             }
                             Output::SendClient(to, msg) => {
-                                node.send(to.0, &msg.to_bytes());
+                                node.send(to.0, msg.encode_scratch(&mut scratch));
                             }
                             _ => {}
                         }
@@ -96,6 +98,7 @@ fn main() {
         .genesis_hash()
         .expect("genesis");
     let mut client = Client::new(client_id, client_kp, gt_hash, spec.genesis.clone());
+    let mut scratch = Vec::new();
     let mut finished = 0usize;
     let mut submitted = 0usize;
     let t0 = Instant::now();
@@ -107,12 +110,12 @@ fn main() {
         for send in client.poll_send() {
             match send {
                 ClientSend::To(r, msg) => {
-                    client_node.send(r.0 as u64, &msg.to_bytes());
+                    client_node.send(r.0 as u64, msg.encode_scratch(&mut scratch));
                 }
                 ClientSend::Broadcast(msg) => {
-                    let bytes = msg.to_bytes();
+                    let bytes = msg.encode_scratch(&mut scratch);
                     for peer in client_node.connected_peers() {
-                        client_node.send(peer, &bytes);
+                        client_node.send(peer, bytes);
                     }
                 }
             }

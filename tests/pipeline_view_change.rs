@@ -1,0 +1,228 @@
+//! Pipelined batches across a view change (Lemma 1): a batch that was
+//! *executed but not committed* when the view changed must be rolled back
+//! via its `BatchMark` and re-executed identically in the new view — same
+//! request, same transaction index, same result, byte-identical ledger
+//! `⟨t, i, o⟩` entry — and the post-view-change ledger must still audit
+//! clean.
+//!
+//! The scenario: every replica drops its outbound commits
+//! (`Fault::DropCommits`), so the batch's pre-prepare and prepares flow —
+//! every replica early-executes and *prepares* the batch — but nobody can
+//! ever commit it. Then the primary crashes and the survivors run a view
+//! change: the new primary resets the pipeline, rolls the executed batch
+//! back to its `BatchMark`, and re-proposes it with byte-identical
+//! content in the new view, where re-execution must reproduce it exactly
+//! (early execution is deterministic, Lemma 2).
+
+use std::sync::Arc;
+
+use ia_ccf::audit::{AuditOutcome, Auditor, LedgerPackage, StoredReceipt};
+use ia_ccf::core::app::CounterApp;
+use ia_ccf::core::byzantine::Fault;
+use ia_ccf::core::ProtocolParams;
+use ia_ccf::governance::chain::GovernanceChain;
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::{
+    ClientId, GovAction, KeyPair, LedgerEntry, MemberDesc, MemberId, ReplicaDesc, ReplicaId,
+    Request, RequestAction, SeqNum, SignedRequest, Wire,
+};
+
+/// The wire bytes of every `⟨t, i, o⟩` entry in a replica's ledger.
+fn tx_entries(cluster: &DetCluster, id: ReplicaId) -> Vec<Vec<u8>> {
+    cluster
+        .replica(id)
+        .ledger()
+        .entries()
+        .iter()
+        .filter(|e| matches!(e, LedgerEntry::Tx(_)))
+        .map(|e| e.to_bytes())
+        .collect()
+}
+
+/// Drive a cluster into the frozen state: one batch executed and prepared
+/// on every replica, committed nowhere.
+fn freeze_one_batch(cluster: &mut DetCluster, client: ia_ccf_types::ClientId) {
+    for r in 0..4 {
+        cluster.set_fault(ReplicaId(r), Fault::DropCommits);
+    }
+    cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+    for _ in 0..5 {
+        cluster.round();
+    }
+    for r in 0..4 {
+        let replica = cluster.replica(ReplicaId(r));
+        assert_eq!(replica.prepared_up_to(), SeqNum(1), "replica {r} must prepare");
+        assert_eq!(replica.committed_up_to(), SeqNum(0), "replica {r} must not commit");
+    }
+}
+
+#[test]
+fn executed_uncommitted_batch_rolls_back_and_reexecutes_identically() {
+    let params = ProtocolParams { view_timeout_ticks: 15, ..ProtocolParams::default() };
+    let spec = ClusterSpec::new(4, 1, params);
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let client = spec.clients[0].0;
+
+    freeze_one_batch(&mut cluster, client);
+    // The executed batch is in every ledger; capture a backup's copy.
+    let before: Vec<Vec<u8>> = tx_entries(&cluster, ReplicaId(1));
+    assert_eq!(before.len(), 1, "batch must be executed (ledgered) before the view change");
+
+    // Crash the view-0 primary and heal the survivors. Their liveness
+    // timers fire (prepared-but-uncommitted work is pending work) and
+    // view 1 takes over.
+    cluster.crash(ReplicaId(0));
+    for r in 1..4 {
+        cluster.set_fault(ReplicaId(r), Fault::None);
+    }
+    assert!(
+        cluster.run_until(400, |c| c.min_committed() >= SeqNum(1)),
+        "rolled-back batch must recommit in the new view"
+    );
+
+    // The survivors moved past view 0 and the batch committed there.
+    for r in 1..4 {
+        assert!(cluster.replica(ReplicaId(r)).view().0 >= 1, "replica {r} stuck in view 0");
+    }
+    // The new view re-executed the batch *identically*: same request,
+    // same transaction index, same result — the ledger's ⟨t, i, o⟩ entry
+    // is byte-for-byte the one that was rolled back.
+    for r in 1..4 {
+        let after = tx_entries(&cluster, ReplicaId(r));
+        assert_eq!(after, before, "replica {r}: re-executed entry must be byte-identical");
+    }
+    // Exactly-once execution: the counter is 1, not 2 — rollback undid
+    // the first execution's state before the re-execution.
+    for r in 1..4 {
+        let v = cluster.replica(ReplicaId(r)).kv().get(b"k").expect("key exists");
+        assert_eq!(v, &1u64.to_le_bytes().to_vec(), "replica {r}: rollback must undo state");
+    }
+    // And the re-proposal went through a fresh pre-prepare in view 1.
+    let survivor = cluster.replica(ReplicaId(1));
+    let pp = survivor.ledger().pp_at(SeqNum(1)).expect("re-proposed pre-prepare");
+    assert!(pp.view().0 >= 1, "seq 1 must be governed by the new view's pre-prepare");
+    cluster.assert_ledgers_consistent();
+}
+
+#[test]
+fn rolled_back_governance_tx_reexecutes_identically() {
+    // A governance transaction mutates replica-local governance state
+    // *during* execution (the proposal book), so rollback must restore
+    // that too — otherwise re-execution in the new view collides with its
+    // own earlier side effects (duplicate proposal) and produces a
+    // different result than the rolled-back run, breaking both ledger
+    // byte-identity and audit replay.
+    let params = ProtocolParams { view_timeout_ticks: 15, ..ProtocolParams::default() };
+    let spec = ClusterSpec::new(4, 1, params);
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let gt = cluster.replica(ReplicaId(0)).gt_hash();
+
+    for r in 0..4 {
+        cluster.set_fault(ReplicaId(r), Fault::DropCommits);
+    }
+    // Member 0 proposes a *valid* next configuration (number + 1, one
+    // endorsed replica added) so the first execution genuinely mutates
+    // the proposal book (outcome: Recorded, ok = true).
+    let mut next = spec.genesis.clone();
+    next.number = spec.genesis.number + 1;
+    let member_kp = KeyPair::from_label("member-4");
+    let replica_kp = KeyPair::from_label("replica-4");
+    next.members.push(MemberDesc { id: MemberId(4), key: member_kp.public() });
+    let payload = ReplicaDesc::endorsement_payload(ReplicaId(4), &replica_kp.public());
+    next.replicas.push(ReplicaDesc {
+        id: ReplicaId(4),
+        key: replica_kp.public(),
+        operator: MemberId(4),
+        endorsement: member_kp.sign(&payload),
+    });
+    let propose = SignedRequest::sign(
+        Request {
+            action: RequestAction::Governance(GovAction::Propose {
+                proposal_id: 1,
+                new_config: next,
+            }),
+            client: ClientId(0),
+            gt_hash: gt,
+            min_index: ia_ccf_types::LedgerIdx(0),
+            req_id: 1,
+        },
+        &spec.member_keys[0],
+    );
+    cluster.submit_raw(ClientId(0), propose);
+    for _ in 0..5 {
+        cluster.round();
+    }
+    for r in 0..4 {
+        let replica = cluster.replica(ReplicaId(r));
+        assert_eq!(replica.prepared_up_to(), SeqNum(1), "replica {r} must prepare");
+        assert_eq!(replica.committed_up_to(), SeqNum(0), "replica {r} must not commit");
+    }
+    let before = tx_entries(&cluster, ReplicaId(1));
+    assert_eq!(before.len(), 1, "the governance tx must be executed (ledgered)");
+    match LedgerEntry::from_bytes(&before[0]).unwrap() {
+        LedgerEntry::Tx(tx) => assert!(tx.result.ok, "the propose must have been recorded"),
+        other => panic!("expected tx entry, got {other:?}"),
+    }
+
+    cluster.crash(ReplicaId(0));
+    for r in 1..4 {
+        cluster.set_fault(ReplicaId(r), Fault::None);
+    }
+    assert!(
+        cluster.run_until(400, |c| c.min_committed() >= SeqNum(1)),
+        "governance batch must recommit in the new view"
+    );
+    for r in 1..4 {
+        let after = tx_entries(&cluster, ReplicaId(r));
+        assert_eq!(
+            after, before,
+            "replica {r}: re-executed governance entry must be byte-identical \
+             (a result mismatch means governance state was not rolled back)"
+        );
+    }
+    cluster.assert_ledgers_consistent();
+}
+
+#[test]
+fn post_rollback_ledger_audits_clean() {
+    // Same rollback scenario, then more traffic; a survivor's ledger —
+    // which contains the view change and the re-executed batch — must
+    // audit clean against every receipt the clients collected.
+    let params = ProtocolParams { view_timeout_ticks: 15, ..ProtocolParams::default() };
+    let spec = ClusterSpec::new(4, 1, params);
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let client = spec.clients[0].0;
+
+    freeze_one_batch(&mut cluster, client);
+    cluster.crash(ReplicaId(0));
+    for r in 1..4 {
+        cluster.set_fault(ReplicaId(r), Fault::None);
+    }
+    assert!(cluster.run_until(400, |c| c.min_committed() >= SeqNum(1)));
+
+    for _ in 0..4 {
+        cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(5, 400), "finished {}", cluster.finished.len());
+
+    let receipts: Vec<StoredReceipt> = cluster
+        .finished
+        .iter()
+        .map(|(_, tx)| StoredReceipt {
+            request: tx.request.clone(),
+            receipt: tx.receipt.clone().expect("receipts"),
+        })
+        .collect();
+    let package = LedgerPackage::from_replica(cluster.replica(ReplicaId(2)), SeqNum(0));
+    assert!(
+        package
+            .entries
+            .iter()
+            .any(|e| matches!(e, LedgerEntry::ViewChangeSet { .. })),
+        "ledger must contain the view change"
+    );
+    let auditor = Auditor::new(spec.genesis.clone(), Arc::new(CounterApp));
+    let outcome = auditor.audit(&receipts, &GovernanceChain::new(), &package);
+    assert!(matches!(outcome, AuditOutcome::Clean), "{:?}", outcome.upom());
+}

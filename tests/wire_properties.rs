@@ -1,7 +1,11 @@
 //! Property tests over the wire codec: every protocol message and ledger
-//! entry round-trips, and decoding never panics on arbitrary bytes
-//! (hostile-input safety for the TCP transport).
+//! entry round-trips, `encoded_len` is exact, the shared [`frame`] codec
+//! round-trips and survives hostile input (truncated frames and oversized
+//! length prefixes error — never panic, never over-allocate), and
+//! decoding never panics on arbitrary bytes (hostile-input safety for the
+//! TCP transport).
 
+use ia_ccf_net::frame;
 use proptest::prelude::*;
 
 use ia_ccf_types::{
@@ -165,6 +169,202 @@ proptest! {
         let _ = LedgerEntry::from_bytes(&bytes);
         let _ = SignedRequest::from_bytes(&bytes);
         let _ = PrePrepare::from_bytes(&bytes);
+    }
+
+    /// `encoded_len` must agree exactly with the materialized encoding for
+    /// every message variant with a hand-written impl (framing layers size
+    /// buffers from it, and a drifting impl must show up here).
+    /// `GovReceipts` is the one variant not constructed: its `Receipt`
+    /// payload uses the default `encoded_len` (encode-and-count), which is
+    /// exact by construction and cannot drift.
+    #[test]
+    fn encoded_len_is_exact(
+        core in arb_core(),
+        root_g in arb_digest(),
+        sig in arb_sig(),
+        req in arb_request(),
+        nonce in any::<[u8; 16]>(),
+        hashes in proptest::collection::vec(arb_digest(), 0..8),
+        req_ids in proptest::collection::vec(any::<u64>(), 0..4),
+        output in proptest::collection::vec(any::<u8>(), 0..64),
+        ok in any::<bool>(),
+    ) {
+        let pp = PrePrepare { core: core.clone(), root_g, sig };
+        let prepare = Prepare {
+            view: core.view,
+            seq: core.seq,
+            replica: core.primary,
+            nonce_commit: core.nonce_commit,
+            pp_digest: root_g,
+            sig,
+        };
+        let msgs = vec![
+            ProtocolMsg::Request(req.clone()),
+            ProtocolMsg::PrePrepare { pp: pp.clone(), batch: hashes.clone() },
+            ProtocolMsg::Prepare(prepare.clone()),
+            ProtocolMsg::Commit(Commit {
+                view: core.view,
+                seq: core.seq,
+                replica: core.primary,
+                nonce: Nonce(nonce),
+            }),
+            ProtocolMsg::Reply(Reply {
+                view: core.view,
+                seq: core.seq,
+                replica: core.primary,
+                sig,
+                nonce: Nonce(nonce),
+                req_ids,
+            }),
+            ProtocolMsg::FetchRequests { hashes: hashes.clone() },
+            ProtocolMsg::FetchRequestsResponse { requests: vec![req.clone()] },
+            ProtocolMsg::FetchLedger { from_seq: core.seq },
+            ProtocolMsg::FetchLedgerResponse { entries: vec![output.clone(), Vec::new()] },
+            ProtocolMsg::FetchGovReceipts { from_index: core.gov_index },
+            ProtocolMsg::FetchReceipt { tx_hash: root_g },
+            ProtocolMsg::FetchEvidence { seq: core.seq },
+            ProtocolMsg::FetchEvidenceResponse {
+                prepares: vec![prepare.clone()],
+                commits: Vec::new(),
+            },
+            ProtocolMsg::SignedAck { msg_digest: root_g, replica: core.primary, sig },
+            ProtocolMsg::ReplyX(ia_ccf_types::messages::ReplyX {
+                core: core.clone(),
+                primary_sig: sig,
+                tx_hash: root_g,
+                index: core.gov_index,
+                result: TxResult {
+                    ok,
+                    output: output.clone(),
+                    write_set_digest: root_g,
+                },
+                path: ia_ccf_types::MerklePath {
+                    index: 2,
+                    tree_len: 5,
+                    siblings: hashes.clone(),
+                },
+            }),
+            ProtocolMsg::ViewChange(ia_ccf_types::messages::ViewChange {
+                view: core.view,
+                replica: core.primary,
+                pps: vec![pp.clone()],
+                last_proof: vec![prepare],
+                sig,
+            }),
+            ProtocolMsg::NewView {
+                nv: ia_ccf_types::messages::NewViewMsg {
+                    view: core.view,
+                    root_m: root_g,
+                    vc_bitmap: core.evidence_bitmap,
+                    vc_entry_hash: root_g,
+                    sig,
+                },
+                view_changes: Vec::new(),
+                resends: vec![(pp, hashes.clone())],
+            },
+        ];
+        for m in msgs {
+            prop_assert_eq!(m.encoded_len(), m.to_bytes().len());
+        }
+        let entry = LedgerEntry::Tx(TxLedgerEntry {
+            request: req,
+            index: core.gov_index,
+            result: TxResult { ok, output, write_set_digest: root_g },
+        });
+        prop_assert_eq!(entry.encoded_len(), entry.to_bytes().len());
+    }
+
+    /// Frame round-trip: any payload survives encode → decode_exact, and
+    /// any sequence of frames splits back into its payloads.
+    #[test]
+    fn frames_roundtrip(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256), 1..6),
+    ) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            frame::encode(p, &mut buf);
+        }
+        let mut rest: &[u8] = &buf;
+        for p in &payloads {
+            let (payload, tail) = frame::split(rest).unwrap().expect("frame present");
+            prop_assert_eq!(payload, &p[..]);
+            rest = tail;
+        }
+        prop_assert!(rest.is_empty());
+        // Single-frame exact decode.
+        let mut single = Vec::new();
+        frame::encode(&payloads[0], &mut single);
+        prop_assert_eq!(frame::decode_exact(&single).unwrap(), &payloads[0][..]);
+        // The stream reader reproduces the same payloads.
+        let mut reader = std::io::Cursor::new(&buf);
+        let mut scratch = Vec::new();
+        for p in &payloads {
+            frame::read_frame(&mut reader, &mut scratch).unwrap();
+            prop_assert_eq!(&scratch, p);
+        }
+    }
+
+    /// Truncated frames must error (exact decode) or report incomplete
+    /// (streaming split) — never panic.
+    #[test]
+    fn truncated_frames_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in any::<usize>(),
+    ) {
+        let mut buf = Vec::new();
+        frame::encode(&payload, &mut buf);
+        let cut = cut % buf.len(); // strictly shorter
+        let truncated =
+            matches!(frame::decode_exact(&buf[..cut]), Err(frame::FrameError::Truncated { .. }));
+        prop_assert!(truncated);
+        prop_assert!(frame::split(&buf[..cut]).unwrap().is_none());
+        let mut reader = std::io::Cursor::new(&buf[..cut]);
+        let mut scratch = Vec::new();
+        prop_assert!(frame::read_frame(&mut reader, &mut scratch).is_err());
+    }
+
+    /// Oversized length prefixes must error, never panic or over-allocate
+    /// — memory use is bounded by bytes actually received, not by the
+    /// hostile prefix.
+    #[test]
+    fn oversized_prefixes_never_allocate(
+        over in (frame::MAX_FRAME as u64 + 1)..=u32::MAX as u64,
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut buf = (over as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        prop_assert!(matches!(frame::split(&buf), Err(frame::FrameError::Oversized(_))));
+        prop_assert!(matches!(frame::decode_exact(&buf), Err(frame::FrameError::Oversized(_))));
+        let mut reader = std::io::Cursor::new(&buf);
+        let mut scratch = Vec::new();
+        prop_assert!(frame::read_frame(&mut reader, &mut scratch).is_err());
+        prop_assert_eq!(scratch.capacity(), 0, "hostile prefix must not allocate");
+    }
+
+    /// Arbitrary garbage through every frame decoder: errors or clean
+    /// splits only, never a panic.
+    #[test]
+    fn frame_decoders_survive_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = frame::split(&bytes);
+        let _ = frame::decode_exact(&bytes);
+        let mut reader = std::io::Cursor::new(&bytes);
+        let mut scratch = Vec::new();
+        let _ = frame::read_frame(&mut reader, &mut scratch);
+    }
+
+    /// A wire message framed through the scratch encoder decodes back —
+    /// the path every hot-path send takes.
+    #[test]
+    fn framed_messages_roundtrip(core in arb_core(), root_g in arb_digest(), sig in arb_sig()) {
+        let msg = ProtocolMsg::PrePrepare {
+            pp: PrePrepare { core, root_g, sig },
+            batch: vec![root_g],
+        };
+        let mut scratch = Vec::new();
+        let framed = frame::encode_msg(&msg, &mut scratch);
+        let payload = frame::decode_exact(framed).unwrap();
+        prop_assert_eq!(ProtocolMsg::from_bytes(payload).unwrap(), msg);
     }
 
     /// Truncation of a valid encoding must error, never panic.
