@@ -5,14 +5,26 @@
 //! threaded, so the number measures the *CPU cost of the normal-case
 //! pipeline*: admission, batch verification, execution, Merkle/ledger
 //! appends, reply emission) through N SmallBank batches and writes
-//! `BENCH_pipeline.json` at the repo root with ops/s and p50/p99
-//! per-batch latency. Later PRs must beat the committed numbers.
+//! `BENCH_pipeline.json` at the repo root. Two workload modes are
+//! measured: **baseline** (uniform accounts, skew 0%) and **contended**
+//! (the `--skew` knob routes that percentage of account draws to the hot
+//! set — see `ia_ccf_smallbank::Workload::with_skew`), so both the
+//! conflict-free and the conflict-heavy paths of sharded execution have
+//! committed numbers. Later PRs must beat them.
 //!
 //! Knobs:
 //!
-//! * `PIPELINE_BENCH_QUICK=1` — tiny run for CI smoke (seconds, numbers
-//!   meaningless; written to `target/experiments/pipeline_quick.json` so
-//!   a local smoke run can't clobber the committed baseline);
+//! * `--skew=N` / `IACCF_SKEW` — contended-mode skew percent (default 90);
+//! * `--shards=N` / `IACCF_SHARDS` — execution shard count (default 0 =
+//!   auto: the machine's available parallelism);
+//! * `PIPELINE_BENCH_QUICK=1` — tiny baseline-mode-only run for CI smoke
+//!   (seconds; written to `target/experiments/pipeline_quick.json` so a
+//!   local smoke run can't clobber the committed baseline, and only the
+//!   baseline mode since that is all the comparison script reads). The
+//!   full run *also* measures
+//!   the quick configuration and records it as `quick_ref_ops_per_sec`,
+//!   the committed reference CI compares its own quick run against
+//!   (`scripts/check_bench_baseline.sh`, warn-only);
 //! * `IACCF_ACCOUNTS` — SmallBank account count (default 10 000).
 
 use std::sync::Arc;
@@ -27,22 +39,46 @@ struct BenchConfig {
     batches: usize,
     batch_size: usize,
     accounts: u64,
+    skew_pct: u8,
+    shards: usize,
     quick: bool,
+}
+
+fn knob(cli: &str, env: &str) -> Option<u64> {
+    let from_cli = std::env::args().find_map(|a| {
+        a.strip_prefix(&format!("--{cli}=")).and_then(|v| v.parse().ok())
+    });
+    from_cli.or_else(|| std::env::var(env).ok().and_then(|v| v.parse().ok()))
 }
 
 fn config() -> BenchConfig {
     let quick = std::env::var_os("PIPELINE_BENCH_QUICK").is_some();
+    let skew_pct = knob("skew", "IACCF_SKEW").unwrap_or(90).min(100) as u8;
+    let shards = knob("shards", "IACCF_SHARDS").unwrap_or(0) as usize;
     if quick {
-        BenchConfig { batches: 5, batch_size: 20, accounts: 1_000, quick }
+        BenchConfig { batches: 5, batch_size: 20, accounts: 1_000, skew_pct, shards, quick }
     } else {
-        BenchConfig { batches: 40, batch_size: 100, accounts: accounts(), quick }
+        BenchConfig { batches: 40, batch_size: 100, accounts: accounts(), skew_pct, shards, quick }
     }
 }
 
-fn main() {
-    let cfg = config();
+struct ModeResult {
+    ops_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// One measured mode: a fresh primed cluster driven through
+/// `batches × batch_size` transactions generated at `skew_pct`.
+fn run_mode(
+    batches: usize,
+    batch_size: usize,
+    accounts: u64,
+    skew_pct: u8,
+    shards: usize,
+) -> ModeResult {
     let n_clients = 4;
-    let params = ProtocolParams::default();
+    let params = ProtocolParams { execution_shards: shards, ..ProtocolParams::default() };
     let spec = ClusterSpec::new(4, n_clients, params)
         .with_config(|c| c.checkpoint_interval = 10_000);
     let mut cluster = DetCluster::new(&spec, Arc::new(ia_ccf_smallbank::SmallBankApp));
@@ -50,7 +86,7 @@ fn main() {
     // Pre-populate identical SmallBank state on every replica (stands in
     // for a bulk-load phase; see `Replica::prime_kv`).
     let mut seed_kv = ia_ccf_kv::KvStore::new();
-    ia_ccf_smallbank::populate(&mut seed_kv, cfg.accounts, 10_000);
+    ia_ccf_smallbank::populate(&mut seed_kv, accounts, 10_000);
     let cp = seed_kv.checkpoint();
     let ids: Vec<_> = cluster.replicas.keys().copied().collect();
     for id in ids {
@@ -58,7 +94,7 @@ fn main() {
     }
 
     let mut workloads: Vec<ia_ccf_smallbank::Workload> = (0..n_clients)
-        .map(|i| ia_ccf_smallbank::Workload::new(cfg.accounts, 7_000 + i as u64))
+        .map(|i| ia_ccf_smallbank::Workload::with_skew(accounts, 7_000 + i as u64, skew_pct))
         .collect();
 
     // Warm-up: one small batch outside the measured window.
@@ -74,14 +110,14 @@ fn main() {
     let mut batch_lat = Histogram::new();
     let mut done = warmed;
     let t0 = Instant::now();
-    for _ in 0..cfg.batches {
+    for _ in 0..batches {
         let tb = Instant::now();
-        for k in 0..cfg.batch_size {
+        for k in 0..batch_size {
             let ci = k % n_clients;
             let op = workloads[ci].next_op();
             cluster.submit(spec.clients[ci].0, op.proc, op.args);
         }
-        done += cfg.batch_size;
+        done += batch_size;
         assert!(
             cluster.run_until_finished(done, 2_000),
             "batch stalled: {}/{done} finished",
@@ -92,32 +128,72 @@ fn main() {
     let elapsed = t0.elapsed();
     cluster.assert_ledgers_consistent();
 
-    let total_ops = (cfg.batches * cfg.batch_size) as u64;
-    let ops_s = total_ops as f64 / elapsed.as_secs_f64();
-    let p50_ms = batch_lat.p50_us() as f64 / 1000.0;
-    let p99_ms = batch_lat.p99_us() as f64 / 1000.0;
+    let total_ops = (batches * batch_size) as u64;
+    ModeResult {
+        ops_s: total_ops as f64 / elapsed.as_secs_f64(),
+        p50_ms: batch_lat.p50_us() as f64 / 1000.0,
+        p99_ms: batch_lat.p99_us() as f64 / 1000.0,
+    }
+}
 
-    println!("\n=== pipeline_throughput (4 replicas, SmallBank) ===");
+fn main() {
+    let cfg = config();
+    println!("=== pipeline_throughput (4 replicas, SmallBank) ===");
     println!(
-        "batches={} batch_size={} accounts={} quick={}",
-        cfg.batches, cfg.batch_size, cfg.accounts, cfg.quick
+        "batches={} batch_size={} accounts={} shards={} quick={}",
+        cfg.batches, cfg.batch_size, cfg.accounts, cfg.shards, cfg.quick
     );
-    println!("ops_s={ops_s:.1}  batch_p50_ms={p50_ms:.2}  batch_p99_ms={p99_ms:.2}");
 
-    let json = format!(
-        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"replicas\": 4,\n  \
-         \"batches\": {},\n  \"batch_size\": {},\n  \"accounts\": {},\n  \
-         \"quick\": {},\n  \"ops_per_sec\": {:.1},\n  \"batch_p50_ms\": {:.3},\n  \
-         \"batch_p99_ms\": {:.3}\n}}\n",
-        cfg.batches, cfg.batch_size, cfg.accounts, cfg.quick, ops_s, p50_ms, p99_ms
+    let baseline = run_mode(cfg.batches, cfg.batch_size, cfg.accounts, 0, cfg.shards);
+    println!(
+        "baseline  (skew 0%):  ops_s={:.1}  batch_p50_ms={:.2}  batch_p99_ms={:.2}",
+        baseline.ops_s, baseline.p50_ms, baseline.p99_ms
     );
-    // Quick-mode numbers are meaningless — never overwrite the committed
-    // repo-root baseline with them.
-    let path = if cfg.quick {
+
+    let (path, json) = if cfg.quick {
+        // Quick mode is the CI smoke: only the baseline mode runs (the
+        // comparison script reads only its ops/s), and the numbers are
+        // meaningless for the trajectory — never overwrite the committed
+        // repo-root baseline with them.
         let _ = std::fs::create_dir_all("target/experiments");
-        "target/experiments/pipeline_quick.json"
+        let json = format!(
+            "{{\n  \"bench\": \"pipeline_throughput\",\n  \"quick\": true,\n  \
+             \"ops_per_sec\": {:.1}\n}}\n",
+            baseline.ops_s
+        );
+        ("target/experiments/pipeline_quick.json", json)
     } else {
-        "BENCH_pipeline.json"
+        let contended =
+            run_mode(cfg.batches, cfg.batch_size, cfg.accounts, cfg.skew_pct, cfg.shards);
+        println!(
+            "contended (skew {}%): ops_s={:.1}  batch_p50_ms={:.2}  batch_p99_ms={:.2}",
+            cfg.skew_pct, contended.ops_s, contended.p50_ms, contended.p99_ms
+        );
+        // Also measure the quick configuration: the committed reference
+        // CI's quick smoke run is compared against (warn-only).
+        let quick_ref = run_mode(5, 20, 1_000, 0, cfg.shards);
+        println!("quick-ref (CI smoke): ops_s={:.1}", quick_ref.ops_s);
+        let json = format!(
+            "{{\n  \"bench\": \"pipeline_throughput\",\n  \"replicas\": 4,\n  \
+             \"batches\": {},\n  \"batch_size\": {},\n  \"accounts\": {},\n  \
+             \"quick\": false,\n  \"ops_per_sec\": {:.1},\n  \
+             \"batch_p50_ms\": {:.3},\n  \"batch_p99_ms\": {:.3},\n  \
+             \"contended_skew_pct\": {},\n  \"contended_ops_per_sec\": {:.1},\n  \
+             \"contended_batch_p50_ms\": {:.3},\n  \"contended_batch_p99_ms\": {:.3},\n  \
+             \"quick_ref_ops_per_sec\": {:.1}\n}}\n",
+            cfg.batches,
+            cfg.batch_size,
+            cfg.accounts,
+            baseline.ops_s,
+            baseline.p50_ms,
+            baseline.p99_ms,
+            cfg.skew_pct,
+            contended.ops_s,
+            contended.p50_ms,
+            contended.p99_ms,
+            quick_ref.ops_s
+        );
+        ("BENCH_pipeline.json", json)
     };
     std::fs::write(path, json).expect("write bench json");
     println!("[written {path}]");

@@ -7,8 +7,23 @@
 //! store; the [`App`] itself is stateless and shared by replicas and the
 //! auditor (our substitution for retrieving procedure code from
 //! checkpoints).
+//!
+//! Procedures run against a [`KvAccess`] view rather than a concrete
+//! store: replicas hand out their sharded store (serial lane), a
+//! speculative group view (parallel execution of conflict-free batches),
+//! or a plain store (auditor replay) — the procedure cannot tell the
+//! difference, which is exactly the property the differential sharding
+//! harness (`tests/sharded_execution.rs`) checks.
+//!
+//! [`App::key_hints`] pre-declares a request's key footprint so the
+//! execution stage can partition a batch into conflict-free groups.
+//! Returning `None` (the default) routes the request to the serial
+//! fallback lane — always correct, never parallel. Returning `Some(keys)`
+//! is a **promise** that the procedure touches only those keys; the
+//! speculative view enforces it and panics on violation (a wrong hint must
+//! fail loudly, not let replicas diverge).
 
-use ia_ccf_kv::KvStore;
+use ia_ccf_kv::{Key, KvAccess};
 use ia_ccf_types::{ClientId, ProcId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -34,11 +49,19 @@ pub trait App: Send + Sync {
     /// rolls back on `Err`. Must be deterministic.
     fn execute(
         &self,
-        kv: &mut KvStore,
+        kv: &mut dyn KvAccess,
         proc: ProcId,
         args: &[u8],
         client: ClientId,
     ) -> Result<Vec<u8>, AppError>;
+
+    /// The set of keys `execute` may touch (reads *and* writes) for this
+    /// call, or `None` if unknown. `None` routes the request to the serial
+    /// execution lane; `Some` admits it to sharded parallel execution.
+    /// Must be a sound over-approximation — see the module docs.
+    fn key_hints(&self, _proc: ProcId, _args: &[u8], _client: ClientId) -> Option<Vec<Key>> {
+        None
+    }
 }
 
 /// An app that rejects every call. Useful as a default and for testing
@@ -49,13 +72,15 @@ pub struct NullApp;
 impl App for NullApp {
     fn execute(
         &self,
-        _kv: &mut KvStore,
+        _kv: &mut dyn KvAccess,
         proc: ProcId,
         _args: &[u8],
         _client: ClientId,
     ) -> Result<Vec<u8>, AppError> {
         Err(AppError(format!("no procedure {proc:?}")))
     }
+    // Deliberately no `key_hints`: NullApp exercises the serial fallback
+    // lane for apps that do not declare footprints.
 }
 
 /// Dispatches procedure ids to registered apps, so a service can combine
@@ -90,7 +115,7 @@ impl AppRegistry {
 impl App for AppRegistry {
     fn execute(
         &self,
-        kv: &mut KvStore,
+        kv: &mut dyn KvAccess,
         proc: ProcId,
         args: &[u8],
         client: ClientId,
@@ -98,6 +123,14 @@ impl App for AppRegistry {
         match self.routes.get(&proc.0) {
             Some(app) => app.execute(kv, proc, args, client),
             None => Err(AppError(format!("no procedure {proc:?}"))),
+        }
+    }
+
+    fn key_hints(&self, proc: ProcId, args: &[u8], client: ClientId) -> Option<Vec<Key>> {
+        match self.routes.get(&proc.0) {
+            Some(app) => app.key_hints(proc, args, client),
+            // An unknown procedure errors without touching the store.
+            None => Some(Vec::new()),
         }
     }
 }
@@ -117,7 +150,7 @@ impl CounterApp {
 impl App for CounterApp {
     fn execute(
         &self,
-        kv: &mut KvStore,
+        kv: &mut dyn KvAccess,
         proc: ProcId,
         args: &[u8],
         _client: ClientId,
@@ -138,11 +171,17 @@ impl App for CounterApp {
             other => Err(AppError(format!("counter: unknown proc {other:?}"))),
         }
     }
+
+    fn key_hints(&self, _proc: ProcId, args: &[u8], _client: ClientId) -> Option<Vec<Key>> {
+        // Every counter procedure touches exactly the key named by args.
+        Some(vec![args.to_vec()])
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ia_ccf_kv::KvStore;
 
     #[test]
     fn counter_app_increments_and_reads() {
@@ -170,10 +209,23 @@ mod tests {
     }
 
     #[test]
-    fn null_app_rejects() {
+    fn registry_routes_key_hints() {
+        let mut reg = AppRegistry::new();
+        reg.register([CounterApp::INCR], Arc::new(CounterApp));
+        assert_eq!(
+            reg.key_hints(CounterApp::INCR, b"x", ClientId(1)),
+            Some(vec![b"x".to_vec()])
+        );
+        // Unknown procedures error without store access: empty footprint.
+        assert_eq!(reg.key_hints(ProcId(99), b"x", ClientId(1)), Some(Vec::new()));
+    }
+
+    #[test]
+    fn null_app_rejects_and_stays_serial() {
         let mut kv = KvStore::new();
         kv.begin_tx().unwrap();
         assert!(NullApp.execute(&mut kv, ProcId(1), b"", ClientId(1)).is_err());
         kv.commit_tx().unwrap();
+        assert_eq!(NullApp.key_hints(ProcId(1), b"", ClientId(1)), None);
     }
 }

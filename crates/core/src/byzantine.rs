@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use ia_ccf_kv::KvStore;
+use ia_ccf_kv::{Key, KvAccess};
 use ia_ccf_types::{ClientId, ProcId, ProtocolMsg};
 
 use crate::app::{App, AppError};
@@ -134,7 +134,7 @@ impl TamperedApp {
 impl App for TamperedApp {
     fn execute(
         &self,
-        kv: &mut KvStore,
+        kv: &mut dyn KvAccess,
         proc: ProcId,
         args: &[u8],
         client: ClientId,
@@ -149,12 +149,19 @@ impl App for TamperedApp {
         }
         self.inner.execute(kv, proc, args, client)
     }
+
+    fn key_hints(&self, proc: ProcId, args: &[u8], client: ClientId) -> Option<Vec<Key>> {
+        // Forgeries only tamper with outputs; the state footprint is the
+        // honest app's, so tampered replicas shard identically.
+        self.inner.key_hints(proc, args, client)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::app::CounterApp;
+    use ia_ccf_kv::KvStore;
 
     #[test]
     fn tampered_app_forges_selected_calls_only() {

@@ -39,6 +39,14 @@ pub struct ProtocolParams {
     /// message and send a signed acknowledgement for every inbound one,
     /// emulating PeerReview's per-message logging/acking cost.
     pub peer_review: bool,
+    /// KV shard count for the execution stage: `0` resolves to the
+    /// machine's available parallelism (capped at 8), `1` forces fully
+    /// serial execution, `n > 1` shards the store and lets the execution
+    /// stage run conflict-free transaction groups in parallel. **Local**
+    /// knob: ledger bytes, digests and receipts are byte-identical for any
+    /// value (the differential harness in `tests/sharded_execution.rs`
+    /// enforces this), so replicas of one cluster may differ.
+    pub execution_shards: usize,
 }
 
 impl Default for ProtocolParams {
@@ -53,11 +61,23 @@ impl Default for ProtocolParams {
             ledger_enabled: true,
             replica_auth: ReplicaAuth::Signatures,
             peer_review: false,
+            execution_shards: 0,
         }
     }
 }
 
 impl ProtocolParams {
+    /// The shard count `execution_shards` resolves to on this machine.
+    /// `0` = available parallelism capped at 8; the cap bounds both the
+    /// key-space split and the per-batch worker fan-out (which is derived
+    /// from the shard count) — set an explicit value to exceed it.
+    pub fn resolved_execution_shards(&self) -> usize {
+        match self.execution_shards {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 8),
+            n => n,
+        }
+    }
+
     /// The full protocol (Tab. 3 row (a)).
     pub fn full() -> Self {
         Self::default()
@@ -112,5 +132,16 @@ mod tests {
         assert!(f.replica_auth == ReplicaAuth::Macs && f.ledger_enabled);
         let g = ProtocolParams::no_ledger();
         assert!(!g.ledger_enabled);
+    }
+
+    #[test]
+    fn execution_shards_resolve_sanely() {
+        let auto = ProtocolParams::default();
+        let resolved = auto.resolved_execution_shards();
+        assert!((1..=8).contains(&resolved), "auto resolved to {resolved}");
+        let pinned = ProtocolParams { execution_shards: 5, ..ProtocolParams::default() };
+        assert_eq!(pinned.resolved_execution_shards(), 5);
+        let serial = ProtocolParams { execution_shards: 1, ..ProtocolParams::default() };
+        assert_eq!(serial.resolved_execution_shards(), 1);
     }
 }

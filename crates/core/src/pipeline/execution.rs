@@ -9,10 +9,39 @@
 //! the batch's ledger entries with one [`ia_ccf_ledger::Ledger::append_batch`]
 //! reservation. Every executed batch leaves a [`BatchMark`] so a view
 //! change can roll it back (Lemma 1) and re-execute it identically.
+//!
+//! # Sharded execution
+//!
+//! When the store has more than one shard
+//! (`ProtocolParams::execution_shards`), application transactions that
+//! pre-declare their key footprint ([`crate::app::App::key_hints`]) are
+//! partitioned into **conflict-free groups** (union-find over declared
+//! keys) and executed speculatively in parallel on scoped workers; each
+//! group sees the pre-batch store plus its own earlier writes
+//! ([`ia_ccf_kv::SpeculativeGroup`]). Transactions without hints, plus
+//! every governance/system transaction, run on the **serial fallback
+//! lane**, which also acts as a barrier: the batch is split into segments
+//! at serial transactions so cross-lane ordering is preserved. After a
+//! parallel segment completes, its write sets are merged into the sharded
+//! store **in original batch order**
+//! ([`ia_ccf_kv::ShardedKvStore::apply_write_set`]).
+//!
+//! The invariant the whole subsystem hangs on: ledger bytes, result
+//! outputs, write-set digests, `Ḡ` leaves and receipts are byte-identical
+//! to fully serial execution for **any** shard count — which is why the
+//! shard count can stay a per-replica knob instead of a consensus
+//! parameter. `tests/sharded_execution.rs` enforces this differentially;
+//! a footprint under-declaration panics in the speculative view rather
+//! than risking divergence.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use ia_ccf_crypto::{Digest, Hasher};
 use ia_ccf_governance::chain::{GOV_OUTPUT_PASSED, GOV_OUTPUT_RECORDED};
 use ia_ccf_governance::GovOutcome;
+use ia_ccf_kv::{Key, SpeculativeGroup, TxWriteSet};
 use ia_ccf_merkle::MerkleTree;
 use ia_ccf_types::{
     BatchKind, ClientId, LedgerIdx, RequestAction, SeqNum, SignedRequest, SystemOp, TxResult,
@@ -55,6 +84,10 @@ pub(crate) struct BatchExec {
 /// `Arc` maintained copy-on-write (`Replica::gov_snapshot` is refreshed
 /// only when governance actually mutates), so gov-free batches pay one
 /// refcount bump, not a deep configuration clone.
+///
+/// The KV side needs no extra state here: every shard carries the batch
+/// mark, so `rollback_to_batch` restores all shards in lockstep —
+/// including writes that arrived via the sharded-execution merge.
 #[derive(Debug, Clone)]
 pub(crate) struct BatchMark {
     pub ledger_len_before: u64,
@@ -72,6 +105,14 @@ pub(crate) enum ExecError {
     KindMismatch,
 }
 
+/// Which execution lane a request takes.
+enum Lane {
+    /// Declared key footprint: eligible for conflict-free grouping.
+    Parallel(Vec<Key>),
+    /// Unknown footprint or non-app action: serial fallback lane.
+    Serial,
+}
+
 impl Replica {
     pub(crate) fn execute_batch(
         &mut self,
@@ -81,18 +122,25 @@ impl Replica {
         requests: &[SignedRequest],
     ) -> Result<BatchExec, ExecError> {
         self.kv.begin_batch(seq.0);
-        let mut txs = Vec::with_capacity(requests.len());
-        let mut leaves = Vec::with_capacity(requests.len());
+        // Structural validation up front (indices are assigned by batch
+        // position, so both checks are order-independent of execution).
+        let base_index = self.next_tx_index;
         for (pos, req) in requests.iter().enumerate() {
-            let is_gov = req.is_governance();
-            if is_gov && pos != requests.len() - 1 {
+            if req.is_governance() && pos != requests.len() - 1 {
                 return Err(ExecError::GovNotLast);
             }
-            let index = LedgerIdx(self.next_tx_index);
-            if req.request.min_index.0 > index.0 {
+            if req.request.min_index.0 > base_index + pos as u64 {
                 return Err(ExecError::MinIndexViolated);
             }
-            let result = self.execute_one(seq, req)?;
+        }
+        let results = self.execute_requests(seq, requests)?;
+        // One serial pass assigns indices and builds the leaves — this is
+        // where parallel results fold back into the canonical batch order.
+        let mut txs = Vec::with_capacity(requests.len());
+        let mut leaves = Vec::with_capacity(requests.len());
+        for (req, result) in requests.iter().zip(results) {
+            let is_gov = req.is_governance();
+            let index = LedgerIdx(self.next_tx_index);
             if is_gov && result.ok {
                 self.last_gov_index = index;
             }
@@ -113,6 +161,205 @@ impl Replica {
             self.take_checkpoint(seq);
         }
         Ok(BatchExec { view, kind, txs, tree })
+    }
+
+    /// Execute every request of the batch, in (observable) batch order.
+    /// Chooses between the fully serial path (single shard or tiny batch)
+    /// and segmented sharded execution.
+    fn execute_requests(
+        &mut self,
+        seq: SeqNum,
+        requests: &[SignedRequest],
+    ) -> Result<Vec<TxResult>, ExecError> {
+        if self.kv.shard_count() <= 1 || requests.len() < 2 {
+            return requests.iter().map(|r| self.execute_one(seq, r)).collect();
+        }
+        let lanes: Vec<Lane> = requests.iter().map(|r| self.plan_lane(r)).collect();
+        let mut results: Vec<Option<TxResult>> = Vec::new();
+        results.resize_with(requests.len(), || None);
+        let mut pos = 0;
+        while pos < requests.len() {
+            if matches!(lanes[pos], Lane::Serial) {
+                // Serial transactions are barriers: everything before them
+                // has merged, everything after sees their effects.
+                results[pos] = Some(self.execute_one(seq, &requests[pos])?);
+                pos += 1;
+                continue;
+            }
+            let start = pos;
+            while pos < requests.len() && matches!(lanes[pos], Lane::Parallel(_)) {
+                pos += 1;
+            }
+            self.execute_parallel_segment(
+                &requests[start..pos],
+                &lanes[start..pos],
+                &mut results[start..pos],
+            );
+        }
+        Ok(results.into_iter().map(|r| r.expect("every position executed")).collect())
+    }
+
+    /// The lane a request executes on. Only app requests with declared
+    /// footprints are parallel-eligible; governance and system
+    /// transactions mutate replica-local state and stay serial.
+    fn plan_lane(&self, req: &SignedRequest) -> Lane {
+        match &req.request.action {
+            RequestAction::App { proc, args } => {
+                match self.app.key_hints(*proc, args, req.request.client) {
+                    Some(mut keys) => {
+                        keys.sort_unstable();
+                        keys.dedup();
+                        Lane::Parallel(keys)
+                    }
+                    None => Lane::Serial,
+                }
+            }
+            _ => Lane::Serial,
+        }
+    }
+
+    /// Execute one contiguous run of parallel-eligible transactions:
+    /// group by footprint overlap, run groups on scoped workers, then
+    /// merge the write sets into the sharded store in batch order.
+    fn execute_parallel_segment(
+        &mut self,
+        reqs: &[SignedRequest],
+        lanes: &[Lane],
+        out: &mut [Option<TxResult>],
+    ) {
+        let n = reqs.len();
+        // Union-find over segment positions, keyed by footprint keys: two
+        // transactions sharing any declared key land in the same group.
+        // Deterministic — driven only by batch order and key equality.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        let mut key_owner: HashMap<&[u8], usize> = HashMap::new();
+        for (i, lane) in lanes.iter().enumerate() {
+            let Lane::Parallel(keys) = lane else { unreachable!("segment is parallel-only") };
+            for k in keys {
+                match key_owner.entry(k.as_slice()) {
+                    Entry::Occupied(o) => {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, *o.get()));
+                        parent[a] = b;
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(i);
+                    }
+                }
+            }
+        }
+        // Groups in first-appearance order; members stay in batch order.
+        let mut group_of_root: Vec<Option<usize>> = vec![None; n];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            let gi = match group_of_root[root] {
+                Some(g) => g,
+                None => {
+                    groups.push(Vec::new());
+                    group_of_root[root] = Some(groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            groups[gi].push(i);
+        }
+
+        let app = Arc::clone(&self.app);
+        let outputs = {
+            let base = &self.kv;
+            let run_group = |members: &[usize]| -> Vec<(usize, TxResult, Option<TxWriteSet>)> {
+                let mut spec = SpeculativeGroup::new(base);
+                members
+                    .iter()
+                    .enumerate()
+                    .map(|(pos_in_group, &i)| {
+                        let Lane::Parallel(keys) = &lanes[i] else { unreachable!() };
+                        let RequestAction::App { proc, args } = &reqs[i].request.action else {
+                            unreachable!("parallel lane only holds app requests")
+                        };
+                        let is_last = pos_in_group + 1 == members.len();
+                        let mut tx = spec.begin_tx(keys);
+                        match app.execute(&mut tx, *proc, args, reqs[i].request.client) {
+                            Ok(output) => {
+                                // The group's last tx has no readers left:
+                                // skip publishing its delta (singleton
+                                // groups dominate uncontended batches).
+                                let ws = if is_last { tx.commit_final() } else { tx.commit() };
+                                let digest = ws.digest();
+                                (
+                                    i,
+                                    TxResult { ok: true, output, write_set_digest: digest },
+                                    Some(ws),
+                                )
+                            }
+                            Err(e) => {
+                                tx.abort();
+                                (
+                                    i,
+                                    TxResult {
+                                        ok: false,
+                                        output: e.0.into_bytes(),
+                                        write_set_digest: Digest::zero(),
+                                    },
+                                    None,
+                                )
+                            }
+                        }
+                    })
+                    .collect()
+            };
+            if groups.len() == 1 {
+                vec![run_group(&groups[0])]
+            } else {
+                // Scoped worker pool: groups are round-robined over at
+                // most `shard_count` workers. Scheduling cannot influence
+                // results — groups are key-disjoint and results are keyed
+                // by batch position.
+                let workers = groups.len().min(self.kv.shard_count());
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let groups = &groups;
+                            let run_group = &run_group;
+                            s.spawn(move || {
+                                let mut acc = Vec::new();
+                                let mut gi = w;
+                                while gi < groups.len() {
+                                    acc.extend(run_group(&groups[gi]));
+                                    gi += workers;
+                                }
+                                acc
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+                        })
+                        .collect()
+                })
+            }
+        };
+
+        // Ordered write-set merge: apply each transaction's effects to the
+        // sharded store in original batch order, so per-shard undo logs —
+        // and therefore rollback — match serial execution's state history.
+        let mut merged: Vec<Option<TxWriteSet>> = Vec::new();
+        merged.resize_with(n, || None);
+        for (i, result, ws) in outputs.into_iter().flatten() {
+            out[i] = Some(result);
+            merged[i] = ws;
+        }
+        for ws in merged.into_iter().flatten() {
+            self.kv.apply_write_set(ws);
+        }
     }
 
     fn execute_one(&mut self, _seq: SeqNum, req: &SignedRequest) -> Result<TxResult, ExecError> {

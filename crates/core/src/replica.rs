@@ -16,7 +16,7 @@ use std::sync::Arc;
 use ia_ccf_crypto::hash_bytes;
 use ia_ccf_governance::chain::GovLink;
 use ia_ccf_governance::GovernanceState;
-use ia_ccf_kv::KvStore;
+use ia_ccf_kv::ShardedKvStore;
 use ia_ccf_ledger::Ledger;
 use ia_ccf_types::{
     ClientId, Configuration, Digest, LedgerIdx, Nonce, PrePrepare, ProtocolMsg, PublicKey,
@@ -70,8 +70,11 @@ pub struct Replica {
     pub(crate) my_nonces: HashMap<(u64, u64), Nonce>,
     pub(crate) rng: StdRng,
 
-    // Execution state.
-    pub(crate) kv: KvStore,
+    // Execution state. The store is sharded for parallel execution of
+    // conflict-free transaction groups; the shard count is a local choice
+    // (see `ProtocolParams::execution_shards`) and never visible in
+    // ledger bytes, digests or receipts.
+    pub(crate) kv: ShardedKvStore,
     pub(crate) app: Arc<dyn App>,
     pub(crate) ledger: Ledger,
     pub(crate) gt_hash: Digest,
@@ -131,7 +134,7 @@ impl Replica {
     ) -> Self {
         let ledger = Ledger::new(genesis.clone());
         let gt_hash = ledger.genesis_hash().expect("genesis present");
-        let kv = KvStore::new();
+        let kv = ShardedKvStore::new(params.resolved_execution_shards());
         let mut cp_digests = BTreeMap::new();
         let mut checkpoints = CheckpointStore::new(3);
         // The genesis checkpoint: empty store at seq 0.
@@ -220,7 +223,7 @@ impl Replica {
         &self.ledger
     }
     /// The key-value store.
-    pub fn kv(&self) -> &KvStore {
+    pub fn kv(&self) -> &ShardedKvStore {
         &self.kv
     }
     /// The checkpoint store.

@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use ia_ccf_crypto::{Digest, Hasher};
+use ia_ccf_crypto::Digest;
 use serde::{Deserialize, Serialize};
 
 use crate::{Key, Value};
@@ -64,15 +64,7 @@ impl KvCheckpoint {
 }
 
 fn digest_of(entries: &BTreeMap<Key, Value>) -> Digest {
-    let mut h = Hasher::new();
-    h.update((entries.len() as u64).to_le_bytes());
-    for (k, v) in entries {
-        h.update((k.len() as u32).to_le_bytes());
-        h.update(k);
-        h.update((v.len() as u32).to_le_bytes());
-        h.update(v);
-    }
-    h.finalize()
+    crate::digest_entries(entries.len(), entries.iter())
 }
 
 #[cfg(test)]

@@ -18,18 +18,28 @@
 //! * [`KvStore::digest`] / [`KvStore::checkpoint`] / [`KvStore::restore`] —
 //!   checkpoint creation and restoration (§3.4, §4.1 replay).
 //!
-//! Strict serializability holds trivially: replicas execute transactions
-//! single-threaded in ledger order, and clients only observe results after
-//! commit (Lemma 2).
+//! Strict serializability still holds with sharded execution: replicas
+//! commit effects in ledger order — conflict-free transaction groups
+//! execute speculatively ([`SpeculativeGroup`]) and their write sets are
+//! merged back **in original batch order**
+//! ([`ShardedKvStore::apply_write_set`]), so the observable history is the
+//! serial one (Lemma 2 unchanged).
 //!
-//! CCF uses a CHAMP map; we use an ordered map with O(log n) access, which
+//! CCF uses a CHAMP map; we use ordered maps with O(log n) access, which
 //! reproduces Fig. 7's "throughput decreases as the store grows" shape.
+//! [`ShardedKvStore`] splits the key space into hash-partitioned shards
+//! ([`shard_of`]); every digest/checkpoint is computed over the merged key
+//! order and is byte-identical for any shard count.
 
 mod checkpoint;
+mod shard;
+mod speculative;
 mod store;
 mod write_set;
 
 pub use checkpoint::KvCheckpoint;
+pub use shard::{shard_of, MergedIter, ShardedKvStore};
+pub use speculative::{SpeculativeGroup, SpeculativeTx};
 pub use store::{KvError, KvStore};
 pub use write_set::TxWriteSet;
 
@@ -37,3 +47,39 @@ pub use write_set::TxWriteSet;
 pub type Key = Vec<u8>;
 /// Values are arbitrary byte strings.
 pub type Value = Vec<u8>;
+
+/// The canonical store-contents digest:
+/// `len ‖ (key-len ‖ key ‖ value-len ‖ value)*` over entries in global
+/// key order. Single definition on purpose — [`KvStore::digest`],
+/// [`ShardedKvStore::digest`] and [`KvCheckpoint`] digests must stay
+/// byte-identical, since checkpoint agreement and audit replay compare
+/// them across replicas with different shard layouts.
+pub(crate) fn digest_entries<'a>(
+    len: usize,
+    entries: impl Iterator<Item = (&'a Key, &'a Value)>,
+) -> ia_ccf_crypto::Digest {
+    let mut h = ia_ccf_crypto::Hasher::new();
+    h.update((len as u64).to_le_bytes());
+    for (k, v) in entries {
+        h.update((k.len() as u32).to_le_bytes());
+        h.update(k);
+        h.update((v.len() as u32).to_le_bytes());
+        h.update(v);
+    }
+    h.finalize()
+}
+
+/// Object-safe data-plane access to a store: the subset of operations a
+/// stored procedure may perform. Implemented by [`KvStore`] (single store:
+/// auditor replay, tests), [`ShardedKvStore`] (the replica's serial
+/// execution lane) and [`SpeculativeTx`] (conflict-free groups executing
+/// in parallel). Keeping `App::execute` behind this trait is what lets the
+/// execution stage swap the backing view without the application noticing.
+pub trait KvAccess {
+    /// Read a key (read-your-writes inside a transaction).
+    fn get(&self, key: &[u8]) -> Option<&Value>;
+    /// Write `key = value` inside the open transaction.
+    fn put(&mut self, key: Key, value: Value) -> Result<(), KvError>;
+    /// Delete `key` inside the open transaction.
+    fn delete(&mut self, key: Key) -> Result<(), KvError>;
+}

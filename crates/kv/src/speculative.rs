@@ -1,0 +1,213 @@
+//! Speculative transaction execution for conflict-free groups.
+//!
+//! The execution stage partitions a batch into groups whose **declared key
+//! footprints** do not overlap (see `App::key_hints` in `ia-ccf-core`).
+//! Each group executes speculatively against a shared immutable view of
+//! the store: reads see the pre-batch state plus the group's own earlier
+//! writes, writes accumulate in a delta map, and each committed
+//! transaction yields the exact [`TxWriteSet`] serial execution would have
+//! produced. The write sets are then merged into the authoritative
+//! [`crate::ShardedKvStore`] **in original batch order**
+//! ([`crate::ShardedKvStore::apply_write_set`]), so ledger bytes, result
+//! outputs and write-set digests are byte-identical to serial execution.
+//!
+//! Why this is equivalent to serial execution: transactions only ever
+//! touch keys inside their declared footprint (enforced here — an access
+//! outside the footprint panics, failing loudly rather than risking
+//! replica divergence), footprint-overlapping transactions share a group
+//! and run in batch order within it, and transactions in different groups
+//! are key-disjoint, so no read can miss a write it would have seen
+//! serially.
+
+use std::collections::BTreeMap;
+
+use crate::shard::ShardedKvStore;
+use crate::store::KvError;
+use crate::write_set::TxWriteSet;
+use crate::{Key, Value};
+
+/// One conflict-free group's speculative execution context: the pre-batch
+/// base state plus the writes of the group's already-committed
+/// transactions.
+pub struct SpeculativeGroup<'a> {
+    base: &'a ShardedKvStore,
+    committed: BTreeMap<Key, Option<Value>>,
+}
+
+impl<'a> SpeculativeGroup<'a> {
+    /// A fresh group over the pre-batch store state.
+    pub fn new(base: &'a ShardedKvStore) -> Self {
+        SpeculativeGroup { base, committed: BTreeMap::new() }
+    }
+
+    /// Open the next transaction of the group. `footprint` is the
+    /// transaction's declared key set; any access outside it panics (a
+    /// `key_hints` implementation bug must fail loudly, not diverge).
+    pub fn begin_tx<'g>(&'g mut self, footprint: &'g [Key]) -> SpeculativeTx<'g, 'a> {
+        SpeculativeTx { group: self, footprint, delta: BTreeMap::new() }
+    }
+}
+
+/// One in-flight speculative transaction. Commit folds its delta into the
+/// group and returns the canonical write set; abort discards it.
+pub struct SpeculativeTx<'g, 'a> {
+    group: &'g mut SpeculativeGroup<'a>,
+    footprint: &'g [Key],
+    delta: BTreeMap<Key, Option<Value>>,
+}
+
+impl SpeculativeTx<'_, '_> {
+    fn check_footprint(&self, key: &[u8]) {
+        assert!(
+            self.footprint.iter().any(|k| k.as_slice() == key),
+            "transaction touched key {key:02x?} outside its declared footprint \
+             (key_hints under-approximated the access set)"
+        );
+    }
+
+    /// Commit: the delta becomes visible to the group's later transactions
+    /// and is returned as the transaction's canonical write set.
+    pub fn commit(self) -> TxWriteSet {
+        for (k, v) in &self.delta {
+            self.group.committed.insert(k.clone(), v.clone());
+        }
+        TxWriteSet::from_map(self.delta)
+    }
+
+    /// Commit the group's **final** transaction: no later transaction will
+    /// read the group delta, so skip publishing into it. Singleton groups
+    /// dominate uncontended workloads, making this the hot-path commit —
+    /// it avoids cloning every written key and value for nothing.
+    pub fn commit_final(self) -> TxWriteSet {
+        TxWriteSet::from_map(self.delta)
+    }
+
+    /// Abort: discard the delta (failed transactions change nothing).
+    pub fn abort(self) {}
+}
+
+impl crate::KvAccess for SpeculativeTx<'_, '_> {
+    fn get(&self, key: &[u8]) -> Option<&Value> {
+        self.check_footprint(key);
+        if let Some(v) = self.delta.get(key) {
+            return v.as_ref();
+        }
+        if let Some(v) = self.group.committed.get(key) {
+            return v.as_ref();
+        }
+        self.group.base.get(key)
+    }
+
+    fn put(&mut self, key: Key, value: Value) -> Result<(), KvError> {
+        self.check_footprint(&key);
+        self.delta.insert(key, Some(value));
+        Ok(())
+    }
+
+    fn delete(&mut self, key: Key) -> Result<(), KvError> {
+        self.check_footprint(&key);
+        self.delta.insert(key, None);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KvAccess;
+
+    fn base_with(entries: &[(&str, &str)]) -> ShardedKvStore {
+        let mut kv = ShardedKvStore::new(4);
+        kv.begin_tx().unwrap();
+        for (k, v) in entries {
+            kv.put(k.as_bytes().to_vec(), v.as_bytes().to_vec()).unwrap();
+        }
+        kv.commit_tx().unwrap();
+        kv
+    }
+
+    fn keys(names: &[&str]) -> Vec<Key> {
+        names.iter().map(|n| n.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn reads_see_base_then_group_then_own_writes() {
+        let base = base_with(&[("a", "base")]);
+        let mut group = SpeculativeGroup::new(&base);
+        let fp = keys(&["a"]);
+
+        let mut tx1 = group.begin_tx(&fp);
+        assert_eq!(tx1.get(b"a"), Some(&b"base".to_vec()));
+        tx1.put(b"a".to_vec(), b"one".to_vec()).unwrap();
+        assert_eq!(tx1.get(b"a"), Some(&b"one".to_vec()), "read-your-writes");
+        let ws = tx1.commit();
+        assert_eq!(ws.get(b"a"), Some(Some(b"one".as_slice())));
+
+        let tx2 = group.begin_tx(&fp);
+        assert_eq!(tx2.get(b"a"), Some(&b"one".to_vec()), "later txs see group writes");
+    }
+
+    #[test]
+    fn abort_discards_delta_and_base_is_never_mutated() {
+        let base = base_with(&[("a", "base")]);
+        let mut group = SpeculativeGroup::new(&base);
+        let fp = keys(&["a"]);
+        let mut tx = group.begin_tx(&fp);
+        tx.delete(b"a".to_vec()).unwrap();
+        tx.abort();
+        let tx = group.begin_tx(&fp);
+        assert_eq!(tx.get(b"a"), Some(&b"base".to_vec()));
+        drop(tx);
+        assert_eq!(base.get(b"a"), Some(&b"base".to_vec()));
+    }
+
+    #[test]
+    fn write_set_matches_serial_execution() {
+        let base = base_with(&[("x", "0")]);
+        let mut group = SpeculativeGroup::new(&base);
+        let fp = keys(&["x", "y"]);
+        let mut tx = group.begin_tx(&fp);
+        tx.put(b"x".to_vec(), b"1".to_vec()).unwrap();
+        tx.put(b"x".to_vec(), b"2".to_vec()).unwrap();
+        tx.put(b"y".to_vec(), b"9".to_vec()).unwrap();
+        tx.delete(b"y".to_vec()).unwrap();
+        let spec_ws = tx.commit();
+
+        let mut serial = crate::KvStore::new();
+        serial.begin_tx().unwrap();
+        serial.put(b"x".to_vec(), b"0".to_vec()).unwrap();
+        serial.commit_tx().unwrap();
+        serial.begin_tx().unwrap();
+        serial.put(b"x".to_vec(), b"1".to_vec()).unwrap();
+        serial.put(b"x".to_vec(), b"2".to_vec()).unwrap();
+        serial.put(b"y".to_vec(), b"9".to_vec()).unwrap();
+        serial.delete(b"y".to_vec()).unwrap();
+        let serial_ws = serial.commit_tx().unwrap();
+        assert_eq!(spec_ws.digest(), serial_ws.digest());
+    }
+
+    #[test]
+    fn commit_final_produces_the_same_write_set() {
+        let base = base_with(&[("a", "base")]);
+        let fp = keys(&["a"]);
+        let mut g1 = SpeculativeGroup::new(&base);
+        let mut tx = g1.begin_tx(&fp);
+        tx.put(b"a".to_vec(), b"x".to_vec()).unwrap();
+        let ws_publish = tx.commit();
+        let mut g2 = SpeculativeGroup::new(&base);
+        let mut tx = g2.begin_tx(&fp);
+        tx.put(b"a".to_vec(), b"x".to_vec()).unwrap();
+        let ws_final = tx.commit_final();
+        assert_eq!(ws_publish, ws_final);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its declared footprint")]
+    fn access_outside_footprint_fails_loudly() {
+        let base = base_with(&[("a", "1")]);
+        let mut group = SpeculativeGroup::new(&base);
+        let fp = keys(&["a"]);
+        let tx = group.begin_tx(&fp);
+        let _ = tx.get(b"undeclared");
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use ia_ccf_crypto::{Digest, Hasher};
+use ia_ccf_crypto::Digest;
 
 use crate::checkpoint::KvCheckpoint;
 use crate::write_set::TxWriteSet;
@@ -81,6 +81,35 @@ impl KvStore {
     /// Iterate over all live entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &Value)> {
         self.map.iter()
+    }
+
+    /// The concrete map iterator — the sharded store's k-way merge needs a
+    /// nameable type to hold peekable per-shard cursors.
+    pub(crate) fn raw_iter(&self) -> std::collections::btree_map::Iter<'_, Key, Value> {
+        self.map.iter()
+    }
+
+    /// Apply one already-committed write (the ordered write-set merge of
+    /// sharded execution). Records an undo entry so batch rollback still
+    /// works, but needs no open transaction: the write set was produced —
+    /// and its digest recorded — by the speculative execution that owns
+    /// transaction semantics.
+    pub(crate) fn apply_one(&mut self, key: Key, value: Option<Value>) {
+        debug_assert!(self.open_tx.is_none(), "write-set merge must run outside transactions");
+        let prior = match value {
+            Some(v) => self.map.insert(key.clone(), v),
+            None => self.map.remove(&key),
+        };
+        self.undo.push(UndoOp { key, prior });
+    }
+
+    /// Replace the contents wholesale (per-shard restore); clears all undo
+    /// state like [`KvStore::restore`].
+    pub(crate) fn set_entries(&mut self, entries: BTreeMap<Key, Value>) {
+        self.map = entries;
+        self.undo.clear();
+        self.open_tx = None;
+        self.batch_marks.clear();
     }
 
     // ------------------------------------------------------------------
@@ -208,15 +237,7 @@ impl KvStore {
     /// Deterministic digest over the full store contents. O(n) — the cost
     /// that makes frequent checkpoints over large stores expensive (Fig. 6).
     pub fn digest(&self) -> Digest {
-        let mut h = Hasher::new();
-        h.update((self.map.len() as u64).to_le_bytes());
-        for (k, v) in &self.map {
-            h.update((k.len() as u32).to_le_bytes());
-            h.update(k);
-            h.update((v.len() as u32).to_le_bytes());
-            h.update(v);
-        }
-        h.finalize()
+        crate::digest_entries(self.map.len(), self.map.iter())
     }
 
     /// Snapshot the current state into a checkpoint (digest + contents).
@@ -226,10 +247,23 @@ impl KvStore {
 
     /// Replace the store contents from a checkpoint; clears all undo state.
     pub fn restore(&mut self, cp: &KvCheckpoint) {
-        self.map = cp.entries().clone();
-        self.undo.clear();
-        self.open_tx = None;
-        self.batch_marks.clear();
+        self.set_entries(cp.entries().clone());
+    }
+}
+
+/// [`KvAccess`] routes straight to the inherent methods: a single-store
+/// replica (or the auditor's replay) is the degenerate one-shard case.
+impl crate::KvAccess for KvStore {
+    fn get(&self, key: &[u8]) -> Option<&Value> {
+        KvStore::get(self, key)
+    }
+
+    fn put(&mut self, key: Key, value: Value) -> Result<(), KvError> {
+        KvStore::put(self, key, value)
+    }
+
+    fn delete(&mut self, key: Key) -> Result<(), KvError> {
+        KvStore::delete(self, key)
     }
 }
 

@@ -43,6 +43,16 @@ impl ClusterSpec {
         self
     }
 
+    /// Pin the execution-stage shard count on every replica. Sharding is a
+    /// local knob (ledger bytes are shard-count independent), but pinning
+    /// it keeps simulated runs reproducible across machines with different
+    /// core counts — the deterministic harness should never depend on
+    /// `available_parallelism`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.params.execution_shards = shards;
+        self
+    }
+
     /// Client key provisioning list.
     pub fn client_keys(&self) -> Vec<(ClientId, PublicKey)> {
         self.clients.iter().map(|(id, kp)| (*id, kp.public())).collect()

@@ -9,7 +9,7 @@
 //! paper's names.
 
 use ia_ccf_core::app::{App, AppError};
-use ia_ccf_kv::KvStore;
+use ia_ccf_kv::{Key, KvAccess, KvStore};
 use ia_ccf_types::{ClientId, ProcId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,11 +68,11 @@ pub fn account_key(account: u64) -> Vec<u8> {
     k
 }
 
-fn read_account(kv: &KvStore, account: u64) -> Balances {
+fn read_account(kv: &dyn KvAccess, account: u64) -> Balances {
     kv.get(&account_key(account)).map(|v| Balances::from_bytes(v)).unwrap_or_default()
 }
 
-fn write_account(kv: &mut KvStore, account: u64, b: Balances) -> Result<(), AppError> {
+fn write_account(kv: &mut dyn KvAccess, account: u64, b: Balances) -> Result<(), AppError> {
     kv.put(account_key(account), b.to_bytes()).map_err(|e| AppError(e.to_string()))
 }
 
@@ -97,7 +97,7 @@ pub struct SmallBankApp;
 impl App for SmallBankApp {
     fn execute(
         &self,
-        kv: &mut KvStore,
+        kv: &mut dyn KvAccess,
         proc: ProcId,
         args: &[u8],
         _client: ClientId,
@@ -170,6 +170,24 @@ impl App for SmallBankApp {
             other => Err(AppError(format!("smallbank: unknown proc {other:?}"))),
         }
     }
+
+    /// Every SmallBank procedure touches exactly the accounts named in its
+    /// arguments, so the footprint is exact. Calls whose arguments fail to
+    /// parse error out before any store access: empty footprint.
+    fn key_hints(&self, proc: ProcId, args: &[u8], _client: ClientId) -> Option<Vec<Key>> {
+        Some(match proc {
+            DEPOSIT | WITHDRAW | BALANCE => match arg_u64(args, 0) {
+                Ok(account) => vec![account_key(account)],
+                Err(_) => Vec::new(),
+            },
+            TRANSFER | AMALGAMATE => match (arg_u64(args, 0), arg_u64(args, 8)) {
+                (Ok(from), Ok(to)) => vec![account_key(from), account_key(to)],
+                _ => Vec::new(),
+            },
+            // NOOP and unknown procedures never touch the store.
+            _ => Vec::new(),
+        })
+    }
 }
 
 /// Pre-populate `kv` with `accounts` accounts holding `initial` in both
@@ -197,22 +215,66 @@ pub struct WorkloadOp {
     pub args: Vec<u8>,
 }
 
-/// The SmallBank request mix: uniform choice over the five types (§6),
-/// uniform accounts.
+/// Size of the hot account set conflict-skewed workloads draw from.
+pub const HOT_ACCOUNTS: u64 = 4;
+
+/// The SmallBank request mix: uniform choice over the five types (§6).
+/// Accounts are drawn uniformly, or — with a conflict-skew knob — from a
+/// small hot set with probability `skew_pct`%, concentrating footprint
+/// overlap so sharded execution's conflict handling is measurable from
+/// fully uncontended (0%) to fully contended (100%).
 pub struct Workload {
     rng: StdRng,
     accounts: u64,
+    skew_pct: u8,
+    hot: u64,
 }
 
 impl Workload {
-    /// A deterministic workload over `accounts` accounts.
+    /// A deterministic uniform workload over `accounts` accounts.
+    /// Byte-identical to the pre-skew generator (skew 0 consumes no extra
+    /// randomness).
     pub fn new(accounts: u64, seed: u64) -> Self {
-        Workload { rng: StdRng::seed_from_u64(seed), accounts }
+        Self::with_skew(accounts, seed, 0)
+    }
+
+    /// A workload where each account draw hits the hot set
+    /// ([`HOT_ACCOUNTS`]) with probability `skew_pct`% (0–100).
+    pub fn with_skew(accounts: u64, seed: u64, skew_pct: u8) -> Self {
+        assert!(skew_pct <= 100, "skew is a percentage");
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+            accounts,
+            skew_pct,
+            hot: accounts.clamp(1, HOT_ACCOUNTS),
+        }
+    }
+
+    fn pick_account(&mut self) -> u64 {
+        if self.skew_pct > 0 && self.rng.gen_range(0..100u8) < self.skew_pct {
+            self.rng.gen_range(0..self.hot)
+        } else {
+            self.rng.gen_range(0..self.accounts)
+        }
+    }
+
+    /// A counterparty distinct from `from` (transfer/amalgamate target).
+    fn pick_counterparty(&mut self, from: u64) -> u64 {
+        if self.skew_pct > 0 && self.hot > 1 && self.rng.gen_range(0..100u8) < self.skew_pct {
+            let to = self.rng.gen_range(0..self.hot);
+            if to == from {
+                (to + 1) % self.hot
+            } else {
+                to
+            }
+        } else {
+            (from + 1 + self.rng.gen_range(0..self.accounts - 1)) % self.accounts
+        }
     }
 
     /// The next operation.
     pub fn next_op(&mut self) -> WorkloadOp {
-        let account = self.rng.gen_range(0..self.accounts);
+        let account = self.pick_account();
         let amount: i64 = self.rng.gen_range(1..100);
         match self.rng.gen_range(0..5u8) {
             0 => WorkloadOp {
@@ -220,7 +282,7 @@ impl Workload {
                 args: [account.to_le_bytes(), amount.to_le_bytes()].concat(),
             },
             1 => {
-                let to = (account + 1 + self.rng.gen_range(0..self.accounts - 1)) % self.accounts;
+                let to = self.pick_counterparty(account);
                 WorkloadOp {
                     proc: TRANSFER,
                     args: [account.to_le_bytes(), to.to_le_bytes(), amount.to_le_bytes()]
@@ -233,7 +295,7 @@ impl Workload {
             },
             3 => WorkloadOp { proc: BALANCE, args: account.to_le_bytes().to_vec() },
             _ => {
-                let to = (account + 1 + self.rng.gen_range(0..self.accounts - 1)) % self.accounts;
+                let to = self.pick_counterparty(account);
                 WorkloadOp {
                     proc: AMALGAMATE,
                     args: [account.to_le_bytes(), to.to_le_bytes()].concat(),
@@ -373,6 +435,52 @@ mod tests {
         }
         // Most operations succeed (failures are insufficient-funds only).
         assert!(ok > 400, "ok = {ok}");
+    }
+
+    #[test]
+    fn key_hints_cover_exactly_the_touched_accounts() {
+        let app = SmallBankApp;
+        let dep_args = [3u64.to_le_bytes(), 10i64.to_le_bytes()].concat();
+        assert_eq!(
+            app.key_hints(DEPOSIT, &dep_args, ClientId(1)),
+            Some(vec![account_key(3)])
+        );
+        let xfer_args = [1u64.to_le_bytes(), 2u64.to_le_bytes(), 5i64.to_le_bytes()].concat();
+        assert_eq!(
+            app.key_hints(TRANSFER, &xfer_args, ClientId(1)),
+            Some(vec![account_key(1), account_key(2)])
+        );
+        assert_eq!(app.key_hints(NOOP, &[], ClientId(1)), Some(Vec::new()));
+        // Unparseable args error before any store access: empty footprint.
+        assert_eq!(app.key_hints(TRANSFER, &[1, 2, 3], ClientId(1)), Some(Vec::new()));
+    }
+
+    #[test]
+    fn skewed_workload_concentrates_on_hot_accounts() {
+        let mut hot = Workload::with_skew(10_000, 11, 100);
+        for _ in 0..200 {
+            let op = hot.next_op();
+            let account = u64::from_le_bytes(op.args[..8].try_into().unwrap());
+            assert!(account < HOT_ACCOUNTS, "skew 100 must stay in the hot set");
+            if op.proc == TRANSFER || op.proc == AMALGAMATE {
+                let to = u64::from_le_bytes(op.args[8..16].try_into().unwrap());
+                assert!(to < HOT_ACCOUNTS);
+                assert_ne!(to, account, "counterparty must differ");
+            }
+        }
+        // skew 0 must reproduce the historical uniform stream exactly.
+        let mut a = Workload::new(100, 42);
+        let mut b = Workload::with_skew(100, 42, 0);
+        for _ in 0..50 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        // Intermediate skew mixes hot and cold draws.
+        let mut mid = Workload::with_skew(10_000, 13, 50);
+        let accounts: Vec<u64> = (0..300)
+            .map(|_| u64::from_le_bytes(mid.next_op().args[..8].try_into().unwrap()))
+            .collect();
+        assert!(accounts.iter().any(|a| *a < HOT_ACCOUNTS));
+        assert!(accounts.iter().any(|a| *a >= HOT_ACCOUNTS));
     }
 
     #[test]

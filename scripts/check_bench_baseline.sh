@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Warn-only perf regression fence: compare a fresh quick-mode
+# pipeline_throughput run against the committed reference in
+# BENCH_pipeline.json (`quick_ref_ops_per_sec`, measured by the same
+# binary in the same configuration when the full baseline was recorded).
+#
+# Threshold is ±25%: the measured run-to-run variance on the baseline
+# container is ~±10%, so anything past 25% is a real signal, not noise.
+# Always exits 0 — this surfaces regressions per-PR without flaking CI on
+# runner variance; tightening it into a hard gate is a later step.
+
+set -euo pipefail
+
+baseline_file=${1:-BENCH_pipeline.json}
+quick_file=${2:-target/experiments/pipeline_quick.json}
+
+if [[ ! -f "$baseline_file" ]]; then
+    echo "::warning::bench-baseline: $baseline_file missing, skipping comparison"
+    exit 0
+fi
+if [[ ! -f "$quick_file" ]]; then
+    echo "::warning::bench-baseline: $quick_file missing (run PIPELINE_BENCH_QUICK=1 pipeline_throughput first)"
+    exit 0
+fi
+
+extract() { # extract <file> <json-key>
+    grep -o "\"$2\": *[0-9.]*" "$1" | head -1 | grep -o '[0-9.]*$'
+}
+
+ref=$(extract "$baseline_file" quick_ref_ops_per_sec || true)
+got=$(extract "$quick_file" ops_per_sec || true)
+
+if [[ -z "$ref" || -z "$got" ]]; then
+    echo "::warning::bench-baseline: could not parse ops/s (ref='$ref' got='$got'), skipping"
+    exit 0
+fi
+
+awk -v ref="$ref" -v got="$got" 'BEGIN {
+    ratio = got / ref
+    printf "bench-baseline: quick ops/s = %.1f, committed reference = %.1f (ratio %.2f)\n", got, ref, ratio
+    if (ratio < 0.75)
+        printf "::warning::bench-baseline: quick-mode ops/s %.1f is more than 25%% below the committed reference %.1f — possible perf regression\n", got, ref
+    else if (ratio > 1.25)
+        printf "::warning::bench-baseline: quick-mode ops/s %.1f is more than 25%% above the committed reference %.1f — consider re-recording the baseline\n", got, ref
+    else
+        print "bench-baseline: within the ±25% noise envelope"
+}'
+exit 0

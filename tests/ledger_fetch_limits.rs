@@ -1,0 +1,140 @@
+//! `serve_ledger_fetch` vs the frame size limit.
+//!
+//! The PR 2 behavior under test: `serve_ledger_fetch` answers a
+//! `FetchLedger` with the whole remaining ledger in **one**
+//! `FetchLedgerResponse`. Past [`ia_ccf_net::frame::MAX_FRAME`] (64 MiB)
+//! every receiver would reject the frame as `Oversized` and kill the
+//! connection, so the frame encoder asserts on the *sender* — an
+//! over-large response must fail loudly at the source instead of
+//! livelocking as silent reconnect churn. These tests pin both sides of
+//! the limit: an oversized response panics in `encode_msg`, and a
+//! response just under the limit round-trips and decodes back into the
+//! ledger entries a recovering replica would apply. This is the
+//! regression fence in front of the ROADMAP's paged FetchLedger
+//! (continuation tokens), which will replace the single-shot reply.
+
+use std::sync::Arc;
+
+use ia_ccf::core::app::{App, AppError};
+use ia_ccf::core::{Input, NodeId, Output, ProtocolParams};
+use ia_ccf_kv::{Key, KvAccess};
+use ia_ccf_net::frame;
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::{
+    ClientId, LedgerEntry, ProcId, ProtocolMsg, ReplicaId, SeqNum, Wire,
+};
+
+/// An app whose outputs are `size`-byte blobs — the cheapest way to grow
+/// a ledger toward the frame limit (outputs are embedded in `⟨t, i, o⟩`
+/// entries). Writes nothing: empty footprint.
+struct BlobApp {
+    size: usize,
+}
+
+impl App for BlobApp {
+    fn execute(
+        &self,
+        _kv: &mut dyn KvAccess,
+        _proc: ProcId,
+        _args: &[u8],
+        _client: ClientId,
+    ) -> Result<Vec<u8>, AppError> {
+        Ok(vec![0xAB; self.size])
+    }
+
+    fn key_hints(&self, _proc: ProcId, _args: &[u8], _client: ClientId) -> Option<Vec<Key>> {
+        Some(Vec::new())
+    }
+}
+
+const BLOB: usize = 4 * 1024 * 1024;
+
+/// Grow a single-replica cluster's ledger to roughly `txs * BLOB` bytes
+/// and return the cluster (replica 0 holds the ledger).
+fn grown_cluster(txs: usize) -> (ClusterSpec, DetCluster) {
+    let params = ProtocolParams { checkpoints_enabled: false, ..ProtocolParams::default() };
+    let spec = ClusterSpec::new(1, 1, params);
+    let mut cluster = DetCluster::new(&spec, Arc::new(BlobApp { size: BLOB }));
+    let client = spec.clients[0].0;
+    for _ in 0..txs {
+        cluster.submit(client, ProcId(1), Vec::new());
+        cluster.round();
+    }
+    assert!(
+        cluster.run_until_finished(txs, 200),
+        "finished {}/{txs}",
+        cluster.finished.len()
+    );
+    (spec, cluster)
+}
+
+/// Ask replica 0 for its ledger from `from_seq` and return the response
+/// message it would send.
+fn fetch_response(cluster: &mut DetCluster, from_seq: u64) -> ProtocolMsg {
+    let replica = cluster.replicas.get_mut(&ReplicaId(0)).expect("replica 0");
+    let outs = replica.inner.handle(Input::Message {
+        from: NodeId::Replica(ReplicaId(9)),
+        msg: ProtocolMsg::FetchLedger { from_seq: SeqNum(from_seq) },
+    });
+    outs.into_iter()
+        .find_map(|o| match o {
+            Output::SendReplica(_, msg @ ProtocolMsg::FetchLedgerResponse { .. }) => Some(msg),
+            _ => None,
+        })
+        .expect("serve_ledger_fetch must answer")
+}
+
+#[test]
+#[should_panic(expected = "message over MAX_FRAME")]
+fn oversized_ledger_fetch_response_fails_loudly_on_the_sender() {
+    // 18 × 4 MiB of outputs ≈ 72 MiB of ledger — past MAX_FRAME. The
+    // response assembles fine as a message; the frame encoder must refuse
+    // to put it on the wire.
+    let (_spec, mut cluster) = grown_cluster(18);
+    let msg = fetch_response(&mut cluster, 1);
+    let mut scratch = Vec::new();
+    let _ = frame::encode_msg(&msg, &mut scratch);
+}
+
+#[test]
+fn ledger_fetch_just_under_the_limit_roundtrips_for_recovery() {
+    // 12 × 4 MiB ≈ 48 MiB — under MAX_FRAME. The single-shot response
+    // must encode, transit as one frame, and decode back into exactly the
+    // ledger entries a recovering replica would apply.
+    let (_spec, mut cluster) = grown_cluster(12);
+    let msg = fetch_response(&mut cluster, 1);
+    let sent_entries = match &msg {
+        ProtocolMsg::FetchLedgerResponse { entries } => entries.clone(),
+        other => panic!("unexpected message {other:?}"),
+    };
+    assert!(!sent_entries.is_empty());
+
+    let mut scratch = Vec::new();
+    let framed = frame::encode_msg(&msg, &mut scratch).to_vec();
+    assert!(
+        framed.len() as u64 <= frame::MAX_FRAME as u64 + frame::HEADER_LEN as u64,
+        "frame unexpectedly oversized: {} bytes",
+        framed.len()
+    );
+
+    // Receiver side: exact-decode the frame, then the message, then every
+    // ledger entry — byte-identical to what the sender's ledger holds.
+    let payload = frame::decode_exact(&framed).expect("one whole frame");
+    let decoded = ProtocolMsg::from_bytes(payload).expect("message decodes");
+    let ProtocolMsg::FetchLedgerResponse { entries } = decoded else {
+        panic!("wrong message kind after roundtrip");
+    };
+    assert_eq!(entries, sent_entries, "entries must survive the frame roundtrip");
+    let parsed: Vec<LedgerEntry> = entries
+        .iter()
+        .map(|e| LedgerEntry::from_bytes(e).expect("entry decodes"))
+        .collect();
+    assert!(
+        parsed.iter().any(|e| matches!(e, LedgerEntry::Tx(_))),
+        "response must carry the transaction entries"
+    );
+    // The served range covers everything from the first batch's ledger
+    // position to the tip — the whole ledger minus the genesis entry.
+    let ledger_len = cluster.replica(ReplicaId(0)).ledger().len();
+    assert_eq!(entries.len() as u64, ledger_len - 1);
+}

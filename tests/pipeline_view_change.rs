@@ -184,6 +184,99 @@ fn rolled_back_governance_tx_reexecutes_identically() {
 }
 
 #[test]
+fn sharded_batch_rolls_back_and_reexecutes_identically() {
+    // Rollback under sharding: a multi-transaction SmallBank batch is
+    // executed through the sharded parallel path (conflict-free groups +
+    // ordered write-set merge across 8 shards), prepared everywhere,
+    // committed nowhere. The view change must roll *every shard* back via
+    // the `BatchMark` and the new view's re-execution must be
+    // byte-identical — and identical to a fully serial (1-shard) cluster
+    // driven through the exact same schedule, crash included.
+    let run = |shards: usize| -> (Vec<Vec<u8>>, Vec<[u8; 32]>) {
+        let params = ProtocolParams {
+            view_timeout_ticks: 15,
+            execution_shards: shards,
+            ..ProtocolParams::default()
+        };
+        let spec = ClusterSpec::new(4, 1, params);
+        let mut cluster = DetCluster::new(&spec, Arc::new(ia_ccf_smallbank::SmallBankApp));
+        let mut seed_kv = ia_ccf::kv::KvStore::new();
+        ia_ccf_smallbank::populate(&mut seed_kv, 8, 1_000);
+        let snapshot = seed_kv.checkpoint();
+        for r in cluster.replicas.values_mut() {
+            r.inner.prime_kv(&snapshot);
+        }
+        let client = spec.clients[0].0;
+
+        for r in 0..4 {
+            cluster.set_fault(ReplicaId(r), Fault::DropCommits);
+        }
+        // One batch, six transactions: two conflicting transfers (0→1,
+        // 1→2 share account 1 — same group, ordered), independent ops on
+        // other accounts (parallel groups), and an overdraft that fails.
+        let amount = |v: i64| v.to_le_bytes();
+        let acct = |a: u64| a.to_le_bytes();
+        let ops: Vec<(ia_ccf_types::ProcId, Vec<u8>)> = vec![
+            (ia_ccf_smallbank::TRANSFER, [acct(0), acct(1), amount(100)].concat()),
+            (ia_ccf_smallbank::TRANSFER, [acct(1), acct(2), amount(50)].concat()),
+            (ia_ccf_smallbank::DEPOSIT, [acct(3), amount(250)].concat()),
+            (ia_ccf_smallbank::WITHDRAW, [acct(4), amount(40)].concat()),
+            (ia_ccf_smallbank::BALANCE, acct(5).to_vec()),
+            (ia_ccf_smallbank::TRANSFER, [acct(6), acct(7), amount(9_999)].concat()),
+        ];
+        for (proc, args) in ops {
+            cluster.submit(client, proc, args);
+        }
+        for _ in 0..5 {
+            cluster.round();
+        }
+        for r in 0..4 {
+            let replica = cluster.replica(ReplicaId(r));
+            assert_eq!(replica.prepared_up_to(), SeqNum(1), "replica {r} must prepare");
+            assert_eq!(replica.committed_up_to(), SeqNum(0), "replica {r} must not commit");
+        }
+        let before = tx_entries(&cluster, ReplicaId(1));
+        assert_eq!(before.len(), 6, "all six txs must be executed (ledgered)");
+
+        cluster.crash(ReplicaId(0));
+        for r in 1..4 {
+            cluster.set_fault(ReplicaId(r), Fault::None);
+        }
+        assert!(
+            cluster.run_until(400, |c| c.min_committed() >= SeqNum(1)),
+            "{shards} shards: batch must recommit in the new view"
+        );
+        for r in 1..4 {
+            let after = tx_entries(&cluster, ReplicaId(r));
+            assert_eq!(
+                after, before,
+                "{shards} shards, replica {r}: re-execution must be byte-identical"
+            );
+        }
+        // Exactly-once: the deposit landed once, not twice — rollback
+        // restored the shard holding account 3 before re-execution.
+        for r in 1..4 {
+            let kv = cluster.replica(ReplicaId(r)).kv();
+            let b = ia_ccf_smallbank::Balances::from_bytes(
+                kv.get(&ia_ccf_smallbank::account_key(3)).expect("account 3"),
+            );
+            assert_eq!(b.savings, 1_250, "replica {r}: deposit must apply exactly once");
+        }
+        cluster.assert_ledgers_consistent();
+        (
+            tx_entries(&cluster, ReplicaId(2)),
+            (1..4)
+                .map(|r| *cluster.replica(ReplicaId(r)).kv().digest().as_bytes())
+                .collect(),
+        )
+    };
+
+    let sharded = run(8);
+    let serial = run(1);
+    assert_eq!(sharded, serial, "sharded rollback/re-execution diverged from serial");
+}
+
+#[test]
 fn post_rollback_ledger_audits_clean() {
     // Same rollback scenario, then more traffic; a survivor's ledger —
     // which contains the view change and the re-executed batch — must
