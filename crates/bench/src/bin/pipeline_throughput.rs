@@ -12,18 +12,28 @@
 //! conflict-free and the conflict-heavy paths of sharded execution have
 //! committed numbers. Later PRs must beat them.
 //!
+//! A third mode measures the *receipt-serving read path*: **refetch**
+//! commits a window of batches, then hammers one backup with
+//! `FetchReceipt` lookups (the client re-fetch path, §3.3) and reports
+//! served lookups per second. This is the workload the emission-stage
+//! receipt cache (locator index + frozen paths + memoized certificates)
+//! exists for; its number is recorded alongside the throughput modes.
+//!
 //! Knobs:
 //!
+//! * `--mode=all|refetch` / `IACCF_MODE` — `refetch` runs only the
+//!   receipt-serving workload and writes
+//!   `target/experiments/pipeline_refetch.json`; `all` (default) runs
+//!   everything and writes the committed `BENCH_pipeline.json`;
 //! * `--skew=N` / `IACCF_SKEW` — contended-mode skew percent (default 90);
 //! * `--shards=N` / `IACCF_SHARDS` — execution shard count (default 0 =
 //!   auto: the machine's available parallelism);
-//! * `PIPELINE_BENCH_QUICK=1` — tiny baseline-mode-only run for CI smoke
+//! * `PIPELINE_BENCH_QUICK=1` — tiny baseline+refetch run for CI smoke
 //!   (seconds; written to `target/experiments/pipeline_quick.json` so a
-//!   local smoke run can't clobber the committed baseline, and only the
-//!   baseline mode since that is all the comparison script reads). The
-//!   full run *also* measures
-//!   the quick configuration and records it as `quick_ref_ops_per_sec`,
-//!   the committed reference CI compares its own quick run against
+//!   local smoke run can't clobber the committed baseline). The full run
+//!   *also* measures the quick configurations and records them as
+//!   `quick_ref_ops_per_sec` / `quick_ref_refetch_ops_per_sec`, the
+//!   committed references CI compares its own quick run against
 //!   (`scripts/check_bench_baseline.sh`, warn-only);
 //! * `IACCF_ACCOUNTS` — SmallBank account count (default 10 000).
 
@@ -31,9 +41,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::accounts;
-use ia_ccf_core::ProtocolParams;
+use ia_ccf_core::{Input, NodeId, ProtocolParams};
 use ia_ccf_sim::metrics::Histogram;
 use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::{ProtocolMsg, ReplicaId};
 
 struct BenchConfig {
     batches: usize,
@@ -42,23 +53,44 @@ struct BenchConfig {
     skew_pct: u8,
     shards: usize,
     quick: bool,
+    refetch_only: bool,
 }
 
 fn knob(cli: &str, env: &str) -> Option<u64> {
-    let from_cli = std::env::args().find_map(|a| {
-        a.strip_prefix(&format!("--{cli}=")).and_then(|v| v.parse().ok())
-    });
-    from_cli.or_else(|| std::env::var(env).ok().and_then(|v| v.parse().ok()))
+    knob_str(cli, env).and_then(|v| v.parse().ok())
+}
+
+fn knob_str(cli: &str, env: &str) -> Option<String> {
+    let from_cli = std::env::args()
+        .find_map(|a| a.strip_prefix(&format!("--{cli}=")).map(str::to_string));
+    from_cli.or_else(|| std::env::var(env).ok())
 }
 
 fn config() -> BenchConfig {
     let quick = std::env::var_os("PIPELINE_BENCH_QUICK").is_some();
     let skew_pct = knob("skew", "IACCF_SKEW").unwrap_or(90).min(100) as u8;
     let shards = knob("shards", "IACCF_SHARDS").unwrap_or(0) as usize;
+    let refetch_only = matches!(knob_str("mode", "IACCF_MODE").as_deref(), Some("refetch"));
     if quick {
-        BenchConfig { batches: 5, batch_size: 20, accounts: 1_000, skew_pct, shards, quick }
+        BenchConfig {
+            batches: 5,
+            batch_size: 20,
+            accounts: 1_000,
+            skew_pct,
+            shards,
+            quick,
+            refetch_only,
+        }
     } else {
-        BenchConfig { batches: 40, batch_size: 100, accounts: accounts(), skew_pct, shards, quick }
+        BenchConfig {
+            batches: 40,
+            batch_size: 100,
+            accounts: accounts(),
+            skew_pct,
+            shards,
+            quick,
+            refetch_only,
+        }
     }
 }
 
@@ -136,8 +168,105 @@ fn run_mode(
     }
 }
 
+/// The quick-mode refetch workload — (commit batches, batch size,
+/// accounts, lookups). The CI smoke run, the `--mode=refetch` quick run
+/// and the full run's committed `quick_ref_refetch_ops_per_sec`
+/// reference all share it, so the baseline fence always compares
+/// like-for-like workloads.
+const QUICK_REFETCH: (usize, usize, u64, usize) = (5, 20, 1_000, 2_000);
+
+fn run_refetch_quick() -> f64 {
+    let (batches, batch_size, accounts, lookups) = QUICK_REFETCH;
+    run_refetch(batches, batch_size, accounts, lookups)
+}
+
+/// The receipt-serving workload (`--mode=refetch`, also folded into the
+/// full run): commit `batches × batch_size` SmallBank transactions, then
+/// replay `lookups` `FetchReceipt` requests against one backup, rotating
+/// over the committed transaction hashes. Measures the emission-stage
+/// read path only — locator lookup, frozen-path slice, reply assembly —
+/// and reports served lookups per second.
+fn run_refetch(batches: usize, batch_size: usize, accounts: u64, lookups: usize) -> f64 {
+    let n_clients = 4;
+    // Retain every committed batch so each lookup is a hit.
+    let params = ProtocolParams {
+        exec_retention_batches: (batches + 16) as u64,
+        ..ProtocolParams::default()
+    };
+    let spec = ClusterSpec::new(4, n_clients, params)
+        .with_config(|c| c.checkpoint_interval = 10_000);
+    let mut cluster = DetCluster::new(&spec, Arc::new(ia_ccf_smallbank::SmallBankApp));
+    let mut seed_kv = ia_ccf_kv::KvStore::new();
+    ia_ccf_smallbank::populate(&mut seed_kv, accounts, 10_000);
+    let cp = seed_kv.checkpoint();
+    let ids: Vec<_> = cluster.replicas.keys().copied().collect();
+    for id in ids {
+        cluster.replicas.get_mut(&id).expect("replica").inner.prime_kv(&cp);
+    }
+    let mut workloads: Vec<ia_ccf_smallbank::Workload> = (0..n_clients)
+        .map(|i| ia_ccf_smallbank::Workload::with_skew(accounts, 9_000 + i as u64, 0))
+        .collect();
+    let mut done = 0;
+    for _ in 0..batches {
+        for k in 0..batch_size {
+            let ci = k % n_clients;
+            let op = workloads[ci].next_op();
+            cluster.submit(spec.clients[ci].0, op.proc, op.args);
+        }
+        done += batch_size;
+        assert!(cluster.run_until_finished(done, 2_000), "refetch warm-up stalled");
+    }
+    // Rotate over the recent committed tail: re-fetch needs the batch's
+    // message-store slot (reply signature + nonce), and the ordering
+    // stage compacts slots beyond ~4P·8 batches — older transactions are
+    // unserved by design (the client would ask another replica).
+    let mut hashes: Vec<_> =
+        cluster.finished.iter().map(|(_, tx)| tx.request.digest()).collect();
+    let tail = hashes.len().saturating_sub(8 * batch_size);
+    hashes.drain(..tail);
+    let client = spec.clients[0].0;
+    let backup = &mut cluster.replicas.get_mut(&ReplicaId(1)).expect("backup").inner;
+
+    let mut served = 0usize;
+    let t0 = Instant::now();
+    for i in 0..lookups {
+        let tx_hash = hashes[i % hashes.len()];
+        let outs = backup.handle(Input::Message {
+            from: NodeId::Client(client),
+            msg: ProtocolMsg::FetchReceipt { tx_hash },
+        });
+        served += usize::from(!outs.is_empty());
+    }
+    let elapsed = t0.elapsed();
+    assert_eq!(served, lookups, "every lookup must hit the retention window");
+    let stats = backup.receipt_cache_stats();
+    assert!(
+        stats.locator_hits as usize >= lookups,
+        "refetch must be served through the locator index"
+    );
+    lookups as f64 / elapsed.as_secs_f64()
+}
+
 fn main() {
     let cfg = config();
+    if cfg.refetch_only {
+        let (batches, batch_size, accounts, lookups) =
+            if cfg.quick { QUICK_REFETCH } else { (40, 100, cfg.accounts, 200_000) };
+        println!("=== pipeline_throughput --mode=refetch (4 replicas, SmallBank) ===");
+        let ops_s = run_refetch(batches, batch_size, accounts, lookups);
+        println!("refetch: lookups={lookups} ops_s={ops_s:.1}");
+        let _ = std::fs::create_dir_all("target/experiments");
+        let json = format!(
+            "{{\n  \"bench\": \"pipeline_throughput\",\n  \"mode\": \"refetch\",\n  \
+             \"quick\": {},\n  \"refetch_lookups\": {lookups},\n  \
+             \"refetch_ops_per_sec\": {ops_s:.1}\n}}\n",
+            cfg.quick
+        );
+        let path = "target/experiments/pipeline_refetch.json";
+        std::fs::write(path, json).expect("write bench json");
+        println!("[written {path}]");
+        return;
+    }
     println!("=== pipeline_throughput (4 replicas, SmallBank) ===");
     println!(
         "batches={} batch_size={} accounts={} shards={} quick={}",
@@ -151,14 +280,16 @@ fn main() {
     );
 
     let (path, json) = if cfg.quick {
-        // Quick mode is the CI smoke: only the baseline mode runs (the
-        // comparison script reads only its ops/s), and the numbers are
-        // meaningless for the trajectory — never overwrite the committed
-        // repo-root baseline with them.
+        // Quick mode is the CI smoke: the baseline throughput mode plus a
+        // tiny refetch run (the comparison script reads both ops/s keys);
+        // the numbers are meaningless for the trajectory — never
+        // overwrite the committed repo-root baseline with them.
+        let refetch = run_refetch_quick();
+        println!("refetch   (quick):    ops_s={refetch:.1}");
         let _ = std::fs::create_dir_all("target/experiments");
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"quick\": true,\n  \
-             \"ops_per_sec\": {:.1}\n}}\n",
+             \"ops_per_sec\": {:.1},\n  \"refetch_ops_per_sec\": {refetch:.1}\n}}\n",
             baseline.ops_s
         );
         ("target/experiments/pipeline_quick.json", json)
@@ -169,10 +300,15 @@ fn main() {
             "contended (skew {}%): ops_s={:.1}  batch_p50_ms={:.2}  batch_p99_ms={:.2}",
             cfg.skew_pct, contended.ops_s, contended.p50_ms, contended.p99_ms
         );
-        // Also measure the quick configuration: the committed reference
+        // The receipt-serving read path, at the full window size.
+        let refetch_lookups = 200_000usize;
+        let refetch = run_refetch(cfg.batches, cfg.batch_size, cfg.accounts, refetch_lookups);
+        println!("refetch   (serving):  lookups={refetch_lookups} ops_s={refetch:.1}");
+        // Also measure the quick configurations: the committed references
         // CI's quick smoke run is compared against (warn-only).
         let quick_ref = run_mode(5, 20, 1_000, 0, cfg.shards);
-        println!("quick-ref (CI smoke): ops_s={:.1}", quick_ref.ops_s);
+        let quick_refetch = run_refetch_quick();
+        println!("quick-ref (CI smoke): ops_s={:.1} refetch_ops_s={quick_refetch:.1}", quick_ref.ops_s);
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"replicas\": 4,\n  \
              \"batches\": {},\n  \"batch_size\": {},\n  \"accounts\": {},\n  \
@@ -180,7 +316,10 @@ fn main() {
              \"batch_p50_ms\": {:.3},\n  \"batch_p99_ms\": {:.3},\n  \
              \"contended_skew_pct\": {},\n  \"contended_ops_per_sec\": {:.1},\n  \
              \"contended_batch_p50_ms\": {:.3},\n  \"contended_batch_p99_ms\": {:.3},\n  \
-             \"quick_ref_ops_per_sec\": {:.1}\n}}\n",
+             \"refetch_lookups\": {refetch_lookups},\n  \
+             \"refetch_ops_per_sec\": {refetch:.1},\n  \
+             \"quick_ref_ops_per_sec\": {:.1},\n  \
+             \"quick_ref_refetch_ops_per_sec\": {quick_refetch:.1}\n}}\n",
             cfg.batches,
             cfg.batch_size,
             cfg.accounts,

@@ -263,19 +263,32 @@ impl Client {
     }
 
     fn on_gov_receipts(&mut self, receipts: Vec<(Option<SignedRequest>, Receipt)>) {
-        // Rebuild the chain from scratch if the incoming one is longer;
-        // re-verify from genesis (receipts are cheap to verify relative to
-        // fetch latency, and chains are small, §6.4).
-        if receipts.len() <= self.chain.len() {
+        // Replicas honor `from_index`, so a response is normally the
+        // *suffix* past our verified prefix: splice it onto the cached
+        // chain and re-verify the whole chain from genesis (receipts are
+        // cheap to verify relative to fetch latency, and chains are
+        // small, §6.4). A response that overlaps our prefix (a replica
+        // predating the incremental protocol, or a `from_index = 0`
+        // refetch) is treated as a full chain, as before.
+        let incoming: Vec<GovLink> = receipts
+            .into_iter()
+            .map(|(request, receipt)| match request {
+                Some(request) => GovLink::GovTx { request, receipt },
+                None => GovLink::Boundary { receipt },
+            })
+            .collect();
+        let first_incoming_idx = incoming.iter().find_map(|l| match l {
+            GovLink::GovTx { receipt, .. } => receipt.tx_index(),
+            GovLink::Boundary { .. } => None,
+        });
+        let is_suffix = !self.chain.is_empty()
+            && first_incoming_idx.is_some_and(|i| i > self.verified_gov_index);
+        let mut links = if is_suffix { self.chain.links.clone() } else { Vec::new() };
+        links.extend(incoming);
+        if links.len() <= self.chain.len() {
             return;
         }
-        let mut chain = GovernanceChain::new();
-        for (request, receipt) in receipts {
-            match request {
-                Some(request) => chain.push(GovLink::GovTx { request, receipt }),
-                None => chain.push(GovLink::Boundary { receipt }),
-            }
-        }
+        let chain = GovernanceChain { links };
         match chain.verify(&self.genesis) {
             Ok(history) => {
                 self.verified_gov_index = chain

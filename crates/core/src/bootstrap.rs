@@ -159,7 +159,7 @@ impl Replica {
                     }
                     self.prepared_view.insert(*seq, *view);
                     self.msgs.put_pp(pp.clone(), requests.iter().map(|r| r.digest()).collect());
-                    self.batch_exec.insert(*seq, exec);
+                    self.insert_batch_exec(*seq, exec);
                     self.post_append_reconfig(*seq, pp.core.kind);
                     max_seq = max_seq.max(*seq);
                 }
@@ -220,7 +220,7 @@ impl Replica {
             prepare_sigs: prepares.iter().map(|p| p.sig).collect(),
             nonces: nonces.clone(),
         };
-        let exec = exec.clone();
+        let exec = Arc::clone(exec);
         for (pos, et) in exec.txs.iter().enumerate() {
             if !et.is_governance {
                 continue;
@@ -234,7 +234,7 @@ impl Replica {
                     tx_hash: et.request_digest,
                     index: et.index,
                     result: et.result.clone(),
-                    path: exec.tree.path(pos as u64).expect("leaf exists"),
+                    path: exec.path(pos as u64).expect("leaf exists"),
                 }),
             };
             self.gov_chain.push(GovLink::GovTx { request, receipt });

@@ -42,4 +42,5 @@ pub use byzantine::{ByzantineReplica, Fault};
 pub use checkpoint::{CheckpointRecord, CheckpointStore};
 pub use events::{Input, NodeId, Output};
 pub use params::{ProtocolParams, ReplicaAuth};
+pub use pipeline::ReceiptCacheStats;
 pub use replica::Replica;

@@ -47,6 +47,14 @@ pub struct ProtocolParams {
     /// value (the differential harness in `tests/sharded_execution.rs`
     /// enforces this), so replicas of one cluster may differ.
     pub execution_shards: usize,
+    /// How many committed batches of execution state (and with them the
+    /// receipt-serving caches: locator entries, certificates, frozen
+    /// paths) are retained for receipt re-fetch. Older transactions
+    /// answer re-fetch with silence and the client retries another
+    /// replica. Floored at `2 × pipeline_depth` so in-flight rollback
+    /// always finds its state. **Local** knob — never visible in ledger
+    /// bytes or receipts.
+    pub exec_retention_batches: u64,
 }
 
 impl Default for ProtocolParams {
@@ -62,6 +70,7 @@ impl Default for ProtocolParams {
             replica_auth: ReplicaAuth::Signatures,
             peer_review: false,
             execution_shards: 0,
+            exec_retention_batches: 64,
         }
     }
 }

@@ -6,8 +6,15 @@
 //! `H(t) mod N`), governance receipts chained for auditors (§5.2), and
 //! the fetch-serving paths (receipt re-fetch, evidence, ledger ranges)
 //! that let slow clients and recovering replicas catch up.
+//!
+//! The stage is cache-backed (see [`crate::pipeline::receipt_cache`]):
+//! executed batches are shared behind `Arc`, batch certificates are
+//! memoized per `(seq, view)`, authentication paths are served from each
+//! batch's frozen-paths view, and re-fetch locates its transaction
+//! through the `tx_hash → (seq, pos)` index instead of a linear scan.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ia_ccf_governance::chain::GovLink;
 use ia_ccf_types::{
@@ -16,6 +23,7 @@ use ia_ccf_types::{
     TxWitness, View,
 };
 
+use crate::pipeline::BatchExec;
 use crate::replica::Replica;
 
 impl Replica {
@@ -39,7 +47,7 @@ impl Replica {
             }
         };
         let nonce = self.my_nonces[&(view.0, seq.0)];
-        let exec = exec.clone();
+        let exec = Arc::clone(exec);
 
         if self.params.peer_review {
             // PeerReview signs a reply per *transaction* (§6.1) — model the
@@ -83,7 +91,7 @@ impl Replica {
             if self.params.issue_receipts && self.is_designated(&et.request_digest) {
                 // Leaves were appended in tx order, so the enumeration
                 // index IS the leaf position.
-                let path = exec.tree.path(pos as u64).expect("leaf exists");
+                let path = exec.path(pos as u64).expect("leaf exists");
                 self.send_client(
                     et.client,
                     ProtocolMsg::ReplyX(ReplyX {
@@ -114,8 +122,14 @@ impl Replica {
 
     /// The batch certificate for a committed batch, assembled from the
     /// message store — the same data clients assemble from replies.
+    ///
+    /// This is the *uncached* assembly (it re-walks the message store on
+    /// every call); production paths go through the memoizing
+    /// [`Replica::batch_certificate`], which calls this at most once per
+    /// committed `(seq, view)`. Kept public as the reference oracle for
+    /// cache-equivalence tests.
     pub fn build_batch_certificate(&self, seq: SeqNum, view: View) -> Option<BatchCertificate> {
-        let dbg = std::env::var_os("IACCF_DEBUG").is_some();
+        let dbg = crate::replica::debug_enabled();
         let Some(slot) = self.msgs.slot(seq, view) else {
             if dbg { eprintln!("[{}] cert {seq}: no slot at {view}", self.id); }
             return None;
@@ -186,7 +200,7 @@ impl Replica {
         if !self.params.issue_receipts || !self.params.ledger_enabled {
             return;
         }
-        let dbg = std::env::var_os("IACCF_DEBUG").is_some();
+        let dbg = crate::replica::debug_enabled();
         let Some(exec) = self.batch_exec.get(&seq) else {
             if dbg {
                 eprintln!("[{}] gov_receipts {seq}: no batch_exec", self.id);
@@ -199,7 +213,8 @@ impl Replica {
         if !has_gov_tx && !is_boundary {
             return;
         }
-        let Some(cert) = self.build_batch_certificate(seq, view) else {
+        let exec = Arc::clone(exec);
+        let Some(cert) = self.batch_certificate(seq, view) else {
             if dbg {
                 eprintln!("[{}] gov_receipts {seq}: certificate deferred", self.id);
             }
@@ -208,7 +223,6 @@ impl Replica {
             }
             return;
         };
-        let exec = exec.clone();
         for (pos, et) in exec.txs.iter().enumerate() {
             if !et.is_governance {
                 continue;
@@ -219,7 +233,7 @@ impl Replica {
                     tx_hash: et.request_digest,
                     index: et.index,
                     result: et.result.clone(),
-                    path: exec.tree.path(pos as u64).expect("leaf exists"),
+                    path: exec.path(pos as u64).expect("leaf exists"),
                 }),
             };
             let request = self.req_store.get(&et.request_digest).cloned();
@@ -265,10 +279,21 @@ impl Replica {
         }
     }
 
-    pub(crate) fn serve_gov_receipts(&mut self, client: ClientId, _from_index: LedgerIdx) {
-        // Serve the full chain; clients dedupe. Chains are small (§6.4).
-        let receipts = self
+    /// Serve governance receipts from `from_index` on: a long-lived
+    /// auditor that already verified the chain up to governance index
+    /// `from_index` receives only the newer links, not the full chain.
+    /// `from_index = 0` (a fresh client) still gets everything. A
+    /// client's verified chain always ends sealed (its verification
+    /// rejects a trailing unsealed referendum), so cutting at the first
+    /// governance transaction past `from_index` never splits a
+    /// referendum from its boundary.
+    pub(crate) fn serve_gov_receipts(&mut self, client: ClientId, from_index: LedgerIdx) {
+        let start = self
             .gov_chain
+            .iter()
+            .position(|l| l.receipt().tx_index().is_some_and(|i| i > from_index))
+            .unwrap_or(self.gov_chain.len());
+        let receipts = self.gov_chain[start..]
             .iter()
             .map(|l| match l {
                 GovLink::GovTx { request, receipt } => {
@@ -280,28 +305,90 @@ impl Replica {
         self.send_client(client, ProtocolMsg::GovReceipts { receipts });
     }
 
+    /// Re-send reply + replyx for a committed transaction: one locator
+    /// lookup plus a frozen-path slice — O(log batch), not a scan over
+    /// the retained batches.
     pub(crate) fn serve_receipt_refetch(&mut self, client: ClientId, tx_hash: Digest) {
-        // Find the batch containing the request and re-send reply + replyx.
+        let Some((seq, pos)) = self.receipt_cache.locate(&tx_hash) else {
+            return; // unknown or pruned past the retention window
+        };
+        let exec = Arc::clone(self.batch_exec.get(&seq).expect("locator entry backed by exec"));
+        if let Some((reply, replyx)) = self.assemble_refetch(seq, &exec, pos, tx_hash) {
+            self.send_client(client, ProtocolMsg::Reply(reply));
+            self.send_client(client, ProtocolMsg::ReplyX(replyx));
+        }
+    }
+
+    /// Build the re-fetch response pair for the transaction at `pos` of
+    /// the batch at `seq`.
+    fn assemble_refetch(
+        &self,
+        seq: SeqNum,
+        exec: &BatchExec,
+        pos: u64,
+        tx_hash: Digest,
+    ) -> Option<(Reply, ReplyX)> {
+        let et = &exec.txs[pos as usize];
+        let view = exec.view;
+        let slot = self.msgs.slot(seq, view)?;
+        let (pp, _) = slot.pp.as_ref()?;
+        let my_sig = if pp.core.primary == self.id {
+            pp.sig
+        } else {
+            slot.prepares.get(&self.id)?.sig
+        };
+        let nonce = self.my_nonces.get(&(view.0, seq.0)).copied()?;
+        let reply = Reply {
+            view,
+            seq,
+            replica: self.id,
+            sig: my_sig,
+            nonce,
+            req_ids: vec![self
+                .req_store
+                .get(&tx_hash)
+                .map(|r| r.request.req_id)
+                .unwrap_or(0)],
+        };
+        let replyx = ReplyX {
+            core: pp.core.clone(),
+            primary_sig: pp.sig,
+            tx_hash,
+            index: et.index,
+            result: et.result.clone(),
+            path: exec.path(pos).expect("leaf exists"),
+        };
+        Some((reply, replyx))
+    }
+
+    /// The seed's linear-scan re-fetch, preserved verbatim as the
+    /// reference oracle for the differential tests
+    /// (`tests/receipt_refetch_equiv.rs`): scan `batch_exec` in sequence
+    /// order for the transaction and rebuild the reply pair from the tree
+    /// directly, bypassing every cache. Returns the messages instead of
+    /// sending them.
+    #[doc(hidden)]
+    pub fn refetch_oracle_linear(&self, tx_hash: Digest) -> Vec<ProtocolMsg> {
         for (seq, exec) in self.batch_exec.iter() {
             if let Some(pos) = exec.txs.iter().position(|t| t.request_digest == tx_hash) {
                 let et = &exec.txs[pos];
                 let view = exec.view;
                 let Some(slot) = self.msgs.slot(*seq, view) else {
-                    return;
+                    return Vec::new();
                 };
-                let Some((pp, _)) = slot.pp.clone() else {
-                    return;
+                let Some((pp, _)) = slot.pp.as_ref() else {
+                    return Vec::new();
                 };
                 let my_sig = if pp.core.primary == self.id {
                     pp.sig
                 } else {
                     match slot.prepares.get(&self.id) {
                         Some(p) => p.sig,
-                        None => return,
+                        None => return Vec::new(),
                     }
                 };
                 let Some(nonce) = self.my_nonces.get(&(view.0, seq.0)).copied() else {
-                    return;
+                    return Vec::new();
                 };
                 let reply = Reply {
                     view,
@@ -323,11 +410,10 @@ impl Replica {
                     result: et.result.clone(),
                     path: exec.tree.path(pos as u64).expect("leaf exists"),
                 };
-                self.send_client(client, ProtocolMsg::Reply(reply));
-                self.send_client(client, ProtocolMsg::ReplyX(replyx));
-                return;
+                return vec![ProtocolMsg::Reply(reply), ProtocolMsg::ReplyX(replyx)];
             }
         }
+        Vec::new()
     }
 
     // ------------------------------------------------------------------

@@ -65,12 +65,40 @@ pub(crate) struct ExecTx {
 
 /// Everything remembered about an executed (possibly not yet committed)
 /// batch.
-#[derive(Debug, Clone)]
+///
+/// Shared behind `Arc` on the replica (`Replica::batch_exec`): the
+/// emission stage, governance receipt builder and re-fetch serving all
+/// read it without deep-cloning the transaction vector or the tree.
+#[derive(Debug)]
 pub(crate) struct BatchExec {
     pub view: View,
     pub kind: BatchKind,
     pub txs: Vec<ExecTx>,
     pub tree: MerkleTree,
+    /// Memoized authentication paths ([`ia_ccf_merkle::FrozenPaths`]):
+    /// the tree is immutable once the batch executed, so the per-level
+    /// sibling arrays are computed once on first path request and every
+    /// later receipt/re-fetch serves from them. A rolled-back batch drops
+    /// the whole `BatchExec`, so re-execution can never see stale paths.
+    frozen: std::sync::OnceLock<ia_ccf_merkle::FrozenPaths>,
+}
+
+impl BatchExec {
+    pub(crate) fn new(view: View, kind: BatchKind, txs: Vec<ExecTx>, tree: MerkleTree) -> Self {
+        BatchExec { view, kind, txs, tree, frozen: std::sync::OnceLock::new() }
+    }
+
+    /// The authentication path for the leaf at `pos`, served from the
+    /// frozen view (byte-identical to `self.tree.path(pos)`).
+    pub(crate) fn path(&self, pos: u64) -> Option<ia_ccf_merkle::MerklePath> {
+        self.frozen.get_or_init(|| self.tree.freeze_paths()).path(pos)
+    }
+
+    /// Whether the frozen-paths view has been materialized (test hook).
+    #[doc(hidden)]
+    pub(crate) fn paths_frozen(&self) -> bool {
+        self.frozen.get().is_some()
+    }
 }
 
 /// Rollback information for a batch (Lemma 1).
@@ -160,7 +188,7 @@ impl Replica {
         if self.params.checkpoints_enabled && seq.0.is_multiple_of(self.checkpoint_interval()) {
             self.take_checkpoint(seq);
         }
-        Ok(BatchExec { view, kind, txs, tree })
+        Ok(BatchExec::new(view, kind, txs, tree))
     }
 
     /// Execute every request of the batch, in (observable) batch order.

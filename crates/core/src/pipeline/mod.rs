@@ -14,6 +14,11 @@
 //! | [`execution`] | batch execute + rollback marks | lines 19–26 (early execution, Lemma 1/2) |
 //! | [`emission`] | replies, receipts, checkpoint/evidence serving | lines 34–38 (`reply`, `replyx`) and §5.2 receipts |
 //!
+//! The emission stage is backed by [`receipt_cache`]: `Arc`-shared
+//! batches, memoized certificates, frozen Merkle paths and a
+//! `tx_hash → (seq, pos)` re-fetch locator, invalidated exactly on
+//! rollback and pruned in lockstep with the execution-state GC.
+//!
 //! View changes (Alg. 2) and reconfiguration (§5.1) stay outside the
 //! pipeline in [`crate::viewchange`] and [`crate::reconfig`]: they
 //! interrupt it, roll back its uncommitted tail via the
@@ -24,5 +29,8 @@ pub(crate) mod admission;
 pub(crate) mod emission;
 pub(crate) mod execution;
 pub(crate) mod ordering;
+pub(crate) mod receipt_cache;
+
+pub use receipt_cache::ReceiptCacheStats;
 
 pub(crate) use execution::{BatchExec, BatchMark, ExecError};

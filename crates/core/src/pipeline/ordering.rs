@@ -181,7 +181,7 @@ impl Replica {
         for d in &batch_hashes {
             self.executed_reqs.insert(*d);
         }
-        self.batch_exec.insert(seq, exec);
+        self.insert_batch_exec(seq, exec);
         self.batch_marks.insert(seq, mark);
         self.msgs.put_pp(pp.clone(), batch_hashes.clone());
         self.seq_next = seq.next();
@@ -351,7 +351,7 @@ impl Replica {
         for d in &batch {
             self.executed_reqs.insert(*d);
         }
-        self.batch_exec.insert(seq, exec);
+        self.insert_batch_exec(seq, exec);
         self.batch_marks.insert(seq, mark);
         self.post_append_reconfig(seq, pp.core.kind);
 
@@ -540,10 +540,14 @@ impl Replica {
         self.maybe_retire(seq);
 
         // Prune execution state we no longer need (keep a window for
-        // receipt re-serving).
-        let keep_from = seq.0.saturating_sub(64);
-        self.batch_exec.retain(|s, _| s.0 > keep_from);
+        // receipt re-serving; floor of 2P so in-flight rollback always
+        // has its state). Cached certificates and locator entries are
+        // dropped in lockstep so the caches never outlive the batches
+        // that back them.
         let p = self.pipeline_depth();
+        let keep_from = seq.0.saturating_sub(self.params.exec_retention_batches.max(2 * p));
+        self.prune_receipt_caches_up_to(SeqNum(keep_from));
+        self.batch_exec.retain(|s, _| s.0 > keep_from);
         self.batch_marks.retain(|s, _| s.0 + 2 * p > seq.0);
         let compact_to = seq.0.saturating_sub(4 * self.pipeline_depth().max(8));
         self.msgs.compact(SeqNum(compact_to), View(self.view.0.saturating_sub(2)));

@@ -83,10 +83,16 @@ pub struct Replica {
     /// reproduces identical entries — see DESIGN.md).
     pub(crate) next_tx_index: u64,
     pub(crate) last_gov_index: LedgerIdx,
-    pub(crate) batch_exec: BTreeMap<SeqNum, BatchExec>,
+    /// Executed batches, shared behind `Arc`: emission, governance
+    /// receipts and re-fetch serving read them without deep clones.
+    pub(crate) batch_exec: BTreeMap<SeqNum, Arc<BatchExec>>,
     pub(crate) batch_marks: BTreeMap<SeqNum, BatchMark>,
     /// Ledger entry position where each batch's segment starts (for fetch).
     pub(crate) batch_ledger_pos: BTreeMap<SeqNum, u64>,
+    /// Emission-stage caches: memoized batch certificates and the
+    /// `tx_hash → (seq, pos)` re-fetch locator (see
+    /// [`crate::pipeline::receipt_cache`] for the invalidation contract).
+    pub(crate) receipt_cache: crate::pipeline::receipt_cache::ReceiptCache,
 
     // Checkpoints.
     pub(crate) checkpoints: CheckpointStore,
@@ -177,6 +183,7 @@ impl Replica {
             batch_exec: BTreeMap::new(),
             batch_marks: BTreeMap::new(),
             batch_ledger_pos: BTreeMap::new(),
+            receipt_cache: Default::default(),
             checkpoints,
             cp_digests,
             gov_chain: Vec::new(),
@@ -249,6 +256,10 @@ impl Replica {
     /// The message store (used when assembling ledger packages for audits).
     pub fn msg_store(&self) -> &MsgStore {
         &self.msgs
+    }
+    /// The view in which `seq` prepared on this replica, if it has.
+    pub fn prepared_view_of(&self, seq: SeqNum) -> Option<View> {
+        self.prepared_view.get(&seq).copied()
     }
     /// Register an additional client signing key (provisioning; in CCF
     /// client registration is itself governance state).
@@ -446,7 +457,7 @@ impl Replica {
     }
 
     pub(crate) fn debug_reject(&self, pp: &PrePrepare, why: &str) {
-        if std::env::var_os("IACCF_DEBUG").is_some() {
+        if debug_enabled() {
             eprintln!(
                 "[{}] reject pp {} {:?} in {}: {why}",
                 self.id,
@@ -481,6 +492,14 @@ impl Replica {
         let scp = receipt_checkpoint_seq(seq, self.checkpoint_interval());
         self.cp_digests.get(&scp).copied().unwrap_or_else(Digest::zero)
     }
+}
+
+/// Whether `IACCF_DEBUG` diagnostics are enabled. The environment is
+/// consulted once per process (the flag is a launch-time switch, and the
+/// debug sites sit on per-receipt hot paths).
+pub(crate) fn debug_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("IACCF_DEBUG").is_some())
 }
 
 /// MAC-mode authenticator: a keyed hash folded to signature width. Not a

@@ -410,6 +410,11 @@ impl Replica {
                 self.pending_reqs.push_front(d);
             }
         }
+        // Exact cache invalidation: certificates, locator entries and
+        // governance-chain links of rolled-back batches die with them, so
+        // a batch re-executed in the new view rebuilds fresh artifacts
+        // (byte-identical content, new-view certificate).
+        self.invalidate_receipt_caches_after(reset_to);
         self.batch_exec.retain(|s, _| *s <= reset_to);
         self.batch_marks.retain(|s, _| *s <= reset_to);
         self.batch_ledger_pos.retain(|s, _| *s <= reset_to);

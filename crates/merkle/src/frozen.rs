@@ -1,0 +1,137 @@
+//! Memoized authentication paths for frozen (immutable) trees.
+//!
+//! [`crate::MerkleTree::path`] walks the pyramid and gathers siblings on
+//! every call — fine for a tree that is still growing, wasteful for the
+//! per-batch tree `G` once its batch has executed: the tree never mutates
+//! again, yet every receipt emission, governance receipt and client
+//! re-fetch re-walks it. [`FrozenPaths`] is the frozen view: each level's
+//! sibling array is computed **once** at freeze time, and [`FrozenPaths::path`]
+//! answers by slicing those arrays — no length arithmetic, no promoted-node
+//! re-detection per call.
+//!
+//! The produced [`MerklePath`]s are byte-identical to
+//! [`crate::MerkleTree::path`]'s (enforced by the differential tests
+//! below), so freezing is invisible in receipts.
+
+use ia_ccf_crypto::Digest;
+
+use crate::path::MerklePath;
+use crate::tree::MerkleTree;
+
+/// Precomputed sibling arrays of an immutable [`MerkleTree`].
+///
+/// `siblings[lvl][idx]` is the sibling hash of node `idx` at level `lvl`,
+/// or `None` when the node is promoted (no right sibling at that level).
+/// A path for leaf `i` is the flattened walk `siblings[0][i]`,
+/// `siblings[1][i/2]`, … — exactly the hashes [`MerkleTree::path`] gathers.
+#[derive(Clone, Debug)]
+pub struct FrozenPaths {
+    tree_len: u64,
+    siblings: Vec<Vec<Option<Digest>>>,
+}
+
+impl FrozenPaths {
+    /// Freeze `tree`: compute every level's sibling array once.
+    pub fn new(tree: &MerkleTree) -> Self {
+        let levels = tree.levels();
+        let mut siblings = Vec::new();
+        for level in levels {
+            if level.len() <= 1 {
+                break; // the top level (and the root) contribute no siblings
+            }
+            let mut row = Vec::with_capacity(level.len());
+            for idx in 0..level.len() {
+                let sib = if idx % 2 == 0 { level.get(idx + 1).copied() } else { Some(level[idx - 1]) };
+                row.push(sib);
+            }
+            siblings.push(row);
+        }
+        FrozenPaths { tree_len: tree.len(), siblings }
+    }
+
+    /// Number of leaves in the frozen tree.
+    pub fn len(&self) -> u64 {
+        self.tree_len
+    }
+
+    /// Whether the frozen tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.tree_len == 0
+    }
+
+    /// Existence path for the leaf at `index`; `None` when out of range.
+    /// Byte-identical to [`MerkleTree::path`] on the frozen tree.
+    pub fn path(&self, index: u64) -> Option<MerklePath> {
+        if index >= self.tree_len {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.siblings.len());
+        let mut idx = index as usize;
+        for row in &self.siblings {
+            if let Some(sib) = row[idx] {
+                out.push(sib);
+            }
+            idx /= 2;
+        }
+        Some(MerklePath { index, tree_len: self.tree_len, siblings: out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_ccf_crypto::hash_bytes;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| hash_bytes(format!("frozen-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn frozen_paths_match_tree_paths_for_all_small_sizes() {
+        for n in 0..70usize {
+            let t = MerkleTree::from_leaves(leaves(n));
+            let f = FrozenPaths::new(&t);
+            assert_eq!(f.len(), t.len());
+            for i in 0..n as u64 {
+                assert_eq!(f.path(i), t.path(i), "n={n} i={i}");
+            }
+            assert_eq!(f.path(n as u64), None);
+        }
+    }
+
+    #[test]
+    fn frozen_paths_verify_against_root() {
+        let ls = leaves(37);
+        let t = MerkleTree::from_leaves(ls.iter().copied());
+        let f = FrozenPaths::new(&t);
+        for (i, l) in ls.iter().enumerate() {
+            assert!(f.path(i as u64).unwrap().verify(*l, t.root()), "i={i}");
+        }
+    }
+
+    #[test]
+    fn empty_tree_freezes_to_empty() {
+        let f = FrozenPaths::new(&MerkleTree::new());
+        assert!(f.is_empty());
+        assert_eq!(f.path(0), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ia_ccf_crypto::hash_bytes;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn frozen_path_equals_tree_path(n in 1usize..300, pick in 0usize..300) {
+            let ls: Vec<Digest> =
+                (0..n).map(|i| hash_bytes(format!("fp-{i}").as_bytes())).collect();
+            let t = MerkleTree::from_leaves(ls.iter().copied());
+            let f = FrozenPaths::new(&t);
+            let i = (pick % n) as u64;
+            prop_assert_eq!(f.path(i), t.path(i));
+        }
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`MerkleTree::truncate`] — rollback of a suffix, required by
 //!   Appx. A Lemma 1 (failed pre-prepares and view changes undo execution);
 //! * [`MerkleTree::path`] / [`MerklePath::verify`] — succinct existence
-//!   proofs;
+//!   proofs, plus [`FrozenPaths`] — a memoized view for immutable trees
+//!   that computes each level's sibling array once and answers `path(i)`
+//!   by slicing (receipt emission/re-fetch serve from it);
 //! * [`Frontier`] — the "newest leaf, root, and connecting branches"
 //!   checkpointed in §3.4, enough to continue appending without old leaves.
 //!
@@ -26,10 +28,12 @@
 //! root position — the verifier always knows the tree length).
 
 mod frontier;
+mod frozen;
 mod path;
 mod tree;
 
 pub use frontier::Frontier;
+pub use frozen::FrozenPaths;
 pub use path::MerklePath;
 pub use tree::MerkleTree;
 

@@ -190,6 +190,19 @@ impl MerkleTree {
         Some(MerklePath { index, tree_len: n, siblings })
     }
 
+    /// The raw pyramid levels (for [`crate::FrozenPaths`] construction).
+    pub(crate) fn levels(&self) -> &[Vec<Digest>] {
+        &self.levels
+    }
+
+    /// Freeze this tree's authentication paths: compute every level's
+    /// sibling array once so later `path(i)` calls are array slices. Only
+    /// meaningful for trees that will not grow again (per-batch `G` trees
+    /// after execution).
+    pub fn freeze_paths(&self) -> crate::FrozenPaths {
+        crate::FrozenPaths::new(self)
+    }
+
     /// Extract the [`Frontier`] — enough state to keep appending (and
     /// computing roots) without the interior of the tree. Checkpoints store
     /// this (§3.4: "the Merkle tree M's newest leaf, root, and the

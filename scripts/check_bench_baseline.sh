@@ -27,22 +27,33 @@ extract() { # extract <file> <json-key>
     grep -o "\"$2\": *[0-9.]*" "$1" | head -1 | grep -o '[0-9.]*$'
 }
 
-ref=$(extract "$baseline_file" quick_ref_ops_per_sec || true)
-got=$(extract "$quick_file" ops_per_sec || true)
+compare() { # compare <label> <reference> <measured>
+    local label=$1 ref=$2 got=$3
+    if [[ -z "$ref" || -z "$got" ]]; then
+        echo "::warning::bench-baseline: could not parse $label ops/s (ref='$ref' got='$got'), skipping"
+        return 0
+    fi
+    awk -v label="$label" -v ref="$ref" -v got="$got" 'BEGIN {
+        ratio = got / ref
+        printf "bench-baseline[%s]: quick ops/s = %.1f, committed reference = %.1f (ratio %.2f)\n", label, got, ref, ratio
+        if (ratio < 0.75)
+            printf "::warning::bench-baseline[%s]: quick-mode ops/s %.1f is more than 25%% below the committed reference %.1f — possible perf regression\n", label, got, ref
+        else if (ratio > 1.25)
+            printf "::warning::bench-baseline[%s]: quick-mode ops/s %.1f is more than 25%% above the committed reference %.1f — consider re-recording the baseline\n", label, got, ref
+        else
+            printf "bench-baseline[%s]: within the ±25%% noise envelope\n", label
+    }'
+}
 
-if [[ -z "$ref" || -z "$got" ]]; then
-    echo "::warning::bench-baseline: could not parse ops/s (ref='$ref' got='$got'), skipping"
-    exit 0
-fi
+# Consensus throughput (the original fence).
+compare throughput \
+    "$(extract "$baseline_file" quick_ref_ops_per_sec || true)" \
+    "$(extract "$quick_file" ops_per_sec || true)"
 
-awk -v ref="$ref" -v got="$got" 'BEGIN {
-    ratio = got / ref
-    printf "bench-baseline: quick ops/s = %.1f, committed reference = %.1f (ratio %.2f)\n", got, ref, ratio
-    if (ratio < 0.75)
-        printf "::warning::bench-baseline: quick-mode ops/s %.1f is more than 25%% below the committed reference %.1f — possible perf regression\n", got, ref
-    else if (ratio > 1.25)
-        printf "::warning::bench-baseline: quick-mode ops/s %.1f is more than 25%% above the committed reference %.1f — consider re-recording the baseline\n", got, ref
-    else
-        print "bench-baseline: within the ±25% noise envelope"
-}'
+# Receipt-serving read path (`--mode refetch` workload; cache-backed
+# emission). Absent keys (older baselines) just warn and skip.
+compare refetch \
+    "$(extract "$baseline_file" quick_ref_refetch_ops_per_sec || true)" \
+    "$(extract "$quick_file" refetch_ops_per_sec || true)"
+
 exit 0

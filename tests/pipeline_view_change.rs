@@ -42,18 +42,7 @@ fn tx_entries(cluster: &DetCluster, id: ReplicaId) -> Vec<Vec<u8>> {
 /// Drive a cluster into the frozen state: one batch executed and prepared
 /// on every replica, committed nowhere.
 fn freeze_one_batch(cluster: &mut DetCluster, client: ia_ccf_types::ClientId) {
-    for r in 0..4 {
-        cluster.set_fault(ReplicaId(r), Fault::DropCommits);
-    }
-    cluster.submit(client, CounterApp::INCR, b"k".to_vec());
-    for _ in 0..5 {
-        cluster.round();
-    }
-    for r in 0..4 {
-        let replica = cluster.replica(ReplicaId(r));
-        assert_eq!(replica.prepared_up_to(), SeqNum(1), "replica {r} must prepare");
-        assert_eq!(replica.committed_up_to(), SeqNum(0), "replica {r} must not commit");
-    }
+    freeze_one_batch_at(cluster, client, SeqNum(1));
 }
 
 #[test]
@@ -274,6 +263,152 @@ fn sharded_batch_rolls_back_and_reexecutes_identically() {
     let sharded = run(8);
     let serial = run(1);
     assert_eq!(sharded, serial, "sharded rollback/re-execution diverged from serial");
+}
+
+#[test]
+fn view_change_evicts_cached_receipt_artifacts() {
+    // Cache invalidation contract of the emission-stage receipt cache: a
+    // *committed* governance batch populates the certificate cache, the
+    // frozen-paths view and the governance chain. With pipeline depth P,
+    // a view change whose last-prepared batch is `s` resets to `s − P` —
+    // so a batch that committed above the reset point is rolled back
+    // (and re-proposed byte-identically). Every cached artifact of its
+    // view-0 incarnation must be evicted: the re-executed batch in the
+    // new view must produce a *fresh* certificate (new view, new nonces)
+    // that is byte-identical to an uncached assembly, and the governance
+    // chain must carry the new-view receipt, not the stale one.
+    let params = ProtocolParams { view_timeout_ticks: 15, ..ProtocolParams::default() };
+    let spec = ClusterSpec::new(4, 1, params);
+    let p = spec.genesis.pipeline_depth as u64;
+    assert!(p >= 2, "scenario needs the committed batch above the reset point");
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let gt = cluster.replica(ReplicaId(0)).gt_hash();
+    let client = spec.clients[0].0;
+
+    // Batch 1: a recorded governance proposal; let it COMMIT everywhere,
+    // which builds its governance receipt and caches its certificate.
+    let mut next = spec.genesis.clone();
+    next.number = spec.genesis.number + 1;
+    let propose = SignedRequest::sign(
+        Request {
+            action: RequestAction::Governance(GovAction::Propose {
+                proposal_id: 1,
+                new_config: next,
+            }),
+            client: ClientId(0),
+            gt_hash: gt,
+            min_index: ia_ccf_types::LedgerIdx(0),
+            req_id: 1,
+        },
+        &spec.member_keys[0],
+    );
+    cluster.submit_raw(ClientId(0), propose);
+    assert!(
+        cluster.run_until(50, |c| c.min_committed() >= SeqNum(1)),
+        "governance batch must commit in view 0"
+    );
+    for _ in 0..3 {
+        cluster.round(); // let deferred certificates (primary nonce) finish
+    }
+    for r in 0..4 {
+        let replica = cluster.replica(ReplicaId(r));
+        assert!(
+            replica.has_cached_certificate(SeqNum(1), ia_ccf_types::View(0)),
+            "replica {r}: committing the governance batch must cache its certificate"
+        );
+        assert_eq!(replica.gov_chain().len(), 1, "replica {r}: one governance link");
+        assert_eq!(replica.gov_chain()[0].receipt().view(), ia_ccf_types::View(0));
+    }
+    let before = tx_entries(&cluster, ReplicaId(1));
+    assert_eq!(before.len(), 1);
+
+    // Batch 2: executed and prepared everywhere, committed nowhere.
+    freeze_one_batch_at(&mut cluster, client, SeqNum(2));
+
+    // View change: last prepared is 2, reset point is 2 − P = 0 — batch 1
+    // (committed, certificate cached) rolls back too.
+    cluster.crash(ReplicaId(0));
+    for r in 1..4 {
+        cluster.set_fault(ReplicaId(r), Fault::None);
+    }
+    assert!(
+        cluster.run_until(400, |c| c.min_committed() >= SeqNum(2)),
+        "both batches must recommit in the new view"
+    );
+
+    for r in 1..4 {
+        let id = ReplicaId(r);
+        let new_view = cluster.replica(id).view();
+        assert!(new_view.0 >= 1, "replica {r} stuck in view 0");
+
+        // Stale artifacts evicted: no certificate survives for the view-0
+        // incarnation of the rolled-back batch.
+        assert!(
+            !cluster.replica(id).has_cached_certificate(SeqNum(1), ia_ccf_types::View(0)),
+            "replica {r}: stale view-0 certificate must be evicted"
+        );
+        // The governance chain was rebuilt with the new view's receipt.
+        let chain = cluster.replica(id).gov_chain();
+        assert_eq!(chain.len(), 1, "replica {r}: exactly one (fresh) governance link");
+        assert_eq!(
+            chain[0].receipt().view(),
+            new_view,
+            "replica {r}: chain must carry the re-executed batch's new-view receipt"
+        );
+        // And it verifies from genesis — the fresh certificate is real.
+        let rebuilt = GovernanceChain { links: chain.to_vec() };
+        assert!(rebuilt.verify(&spec.genesis).is_ok(), "replica {r}: fresh chain verifies");
+
+        // The cached certificate is byte-identical to an uncached
+        // assembly from the message store.
+        let replica = &mut cluster.replicas.get_mut(&id).expect("replica").inner;
+        let seq_view = replica.prepared_view_of(SeqNum(1)).expect("batch 1 prepared");
+        let uncached = replica.build_batch_certificate(SeqNum(1), seq_view);
+        let cached = replica.batch_certificate(SeqNum(1), seq_view);
+        assert_eq!(cached, uncached, "replica {r}: cached certificate must equal uncached");
+        assert!(
+            replica.has_cached_certificate(SeqNum(1), seq_view),
+            "replica {r}: new-view certificate must now be cached"
+        );
+        // Repeated requests are cache hits, not re-assemblies.
+        let builds_before = replica.receipt_cache_stats().cert_builds;
+        let again = replica.batch_certificate(SeqNum(1), seq_view);
+        assert_eq!(again, cached);
+        assert_eq!(
+            replica.receipt_cache_stats().cert_builds,
+            builds_before,
+            "replica {r}: second request must not re-assemble"
+        );
+    }
+
+    // Ledger byte-identity: the re-executed ⟨t, i, o⟩ entries are the
+    // rolled-back ones, bit for bit.
+    for r in 1..4 {
+        let after = tx_entries(&cluster, ReplicaId(r));
+        assert_eq!(&after[..1], &before[..], "replica {r}: gov entry must be byte-identical");
+    }
+    cluster.assert_ledgers_consistent();
+}
+
+/// Like `freeze_one_batch`, but asserting the frozen batch lands at
+/// `expect_seq` (for scenarios with earlier committed batches).
+fn freeze_one_batch_at(cluster: &mut DetCluster, client: ia_ccf_types::ClientId, expect_seq: SeqNum) {
+    for r in 0..4 {
+        cluster.set_fault(ReplicaId(r), Fault::DropCommits);
+    }
+    cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+    for _ in 0..5 {
+        cluster.round();
+    }
+    for r in 0..4 {
+        let replica = cluster.replica(ReplicaId(r));
+        assert_eq!(replica.prepared_up_to(), expect_seq, "replica {r} must prepare");
+        assert_eq!(
+            replica.committed_up_to(),
+            SeqNum(expect_seq.0 - 1),
+            "replica {r} must not commit the frozen batch"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,228 @@
+//! Differential harness for the cache-backed receipt read path.
+//!
+//! PR "cache-backed receipt emission" replaced `serve_receipt_refetch`'s
+//! O(batches × txs) linear scan with a `tx_hash → (seq, pos)` locator
+//! index, memoized certificates and frozen Merkle paths. The contract:
+//! the *bytes* a client receives are unchanged — for any schedule, for
+//! hits and for misses (unknown transactions, transactions pruned past
+//! the retention window). This harness proves it differentially against
+//! `Replica::refetch_oracle_linear`, the seed's scan preserved as a
+//! reference oracle, and pins the incremental governance-receipt serving
+//! (`from_index`) semantics.
+
+use std::sync::Arc;
+
+use ia_ccf::core::app::CounterApp;
+use ia_ccf::core::{Input, NodeId, Output, ProtocolParams};
+use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_types::{
+    ClientId, Digest, GovAction, LedgerIdx, ProtocolMsg, ReplicaId, Request, RequestAction,
+    SignedRequest, Wire,
+};
+use proptest::prelude::*;
+
+/// The encoded client-bound messages a replica emits for one input.
+fn client_sends(outputs: Vec<Output>) -> Vec<(ClientId, Vec<u8>)> {
+    outputs
+        .into_iter()
+        .filter_map(|o| match o {
+            Output::SendClient(to, msg) => Some((to, msg.to_bytes())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Ask `replica` for a receipt re-fetch through the production (indexed)
+/// path and through the linear-scan oracle; both as encoded bytes.
+#[allow(clippy::type_complexity)]
+fn refetch_both(
+    cluster: &mut DetCluster,
+    id: ReplicaId,
+    client: ClientId,
+    tx_hash: Digest,
+) -> (Vec<(ClientId, Vec<u8>)>, Vec<Vec<u8>>) {
+    let replica = &mut cluster.replicas.get_mut(&id).expect("replica").inner;
+    let oracle: Vec<Vec<u8>> =
+        replica.refetch_oracle_linear(tx_hash).iter().map(|m| m.to_bytes()).collect();
+    let indexed = client_sends(replica.handle(Input::Message {
+        from: NodeId::Client(client),
+        msg: ProtocolMsg::FetchReceipt { tx_hash },
+    }));
+    (indexed, oracle)
+}
+
+/// Drive a cluster through `n_txs` counter increments with a round every
+/// `cadence` submissions, then compare indexed vs. linear re-fetch on
+/// every live replica for every executed transaction plus unknown ones.
+fn check_schedule(n_txs: usize, cadence: usize, retention: u64) {
+    let params = ProtocolParams {
+        exec_retention_batches: retention,
+        ..ProtocolParams::default()
+    };
+    let spec = ClusterSpec::new(4, 2, params);
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    for i in 0..n_txs {
+        let client = spec.clients[i % 2].0;
+        cluster.submit(client, CounterApp::INCR, format!("k{}", i % 5).into_bytes());
+        if (i + 1) % cadence == 0 {
+            cluster.round();
+        }
+    }
+    assert!(
+        cluster.run_until_finished(n_txs, 1_000),
+        "finished {}/{n_txs}",
+        cluster.finished.len()
+    );
+
+    let mut hashes: Vec<Digest> =
+        cluster.finished.iter().map(|(_, tx)| tx.request.digest()).collect();
+    // Unknown transactions: misses must be silent on both paths.
+    hashes.push(ia_ccf_crypto::hash_bytes(b"never-submitted-1"));
+    hashes.push(ia_ccf_crypto::hash_bytes(b"never-submitted-2"));
+
+    let client = spec.clients[0].0;
+    let mut hits = 0usize;
+    for r in 0..4u32 {
+        let id = ReplicaId(r);
+        for &h in &hashes {
+            let (indexed, oracle) = refetch_both(&mut cluster, id, client, h);
+            let indexed_bytes: Vec<Vec<u8>> =
+                indexed.iter().map(|(_, b)| b.clone()).collect();
+            assert_eq!(
+                indexed_bytes, oracle,
+                "replica {r}: indexed re-fetch diverged from the linear oracle"
+            );
+            assert!(indexed.iter().all(|(to, _)| *to == client));
+            if !indexed.is_empty() {
+                hits += 1;
+            }
+        }
+    }
+    // Transactions inside the retention window must actually be served
+    // (the differential check alone would pass if both paths went mute).
+    assert!(hits > 0, "no re-fetch was served at all");
+
+    // The production path went through the locator, not a scan.
+    let stats = cluster.replica(ReplicaId(1)).receipt_cache_stats();
+    assert!(stats.locator_hits + stats.locator_misses > 0, "locator index was bypassed");
+}
+
+#[test]
+fn refetch_equivalence_simple_schedule() {
+    check_schedule(10, 3, 64);
+}
+
+#[test]
+fn refetch_equivalence_with_gc_misses() {
+    // Retention of 4 batches (the floor, 2 × pipeline depth): singleton
+    // batches push early transactions out of the window, so re-fetching
+    // them is a miss — on both paths, byte-for-byte (i.e. silence).
+    check_schedule(24, 1, 4);
+}
+
+#[test]
+fn gc_prunes_locator_and_serving_window() {
+    let params = ProtocolParams { exec_retention_batches: 4, ..ProtocolParams::default() };
+    let spec = ClusterSpec::new(4, 1, params);
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let client = spec.clients[0].0;
+    for i in 0..16 {
+        cluster.submit(client, CounterApp::INCR, format!("g{i}").into_bytes());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(16, 500));
+    let first = cluster.finished.first().expect("finished").1.request.digest();
+    let last = cluster.finished.last().expect("finished").1.request.digest();
+    let (idx_first, oracle_first) = refetch_both(&mut cluster, ReplicaId(1), client, first);
+    assert!(idx_first.is_empty(), "pruned tx must not be served");
+    assert!(oracle_first.is_empty(), "oracle must agree on the miss");
+    let (idx_last, oracle_last) = refetch_both(&mut cluster, ReplicaId(1), client, last);
+    assert!(!idx_last.is_empty(), "recent tx must be served");
+    assert_eq!(
+        idx_last.into_iter().map(|(_, b)| b).collect::<Vec<_>>(),
+        oracle_last
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// For random schedules and retention windows, the indexed re-fetch
+    /// is byte-identical to the seed's linear scan on every replica —
+    /// hits and misses alike.
+    #[test]
+    fn refetch_matches_linear_oracle(
+        n_txs in 4usize..28,
+        cadence in 1usize..5,
+        small_retention in any::<bool>(),
+    ) {
+        check_schedule(n_txs, cadence, if small_retention { 4 } else { 64 });
+    }
+}
+
+// ----------------------------------------------------------------------
+// Incremental governance-receipt serving (`from_index`).
+// ----------------------------------------------------------------------
+
+/// Commit one governance transaction, then fetch the chain with various
+/// `from_index` values: 0 serves everything, an index at the last
+/// verified transaction serves nothing new.
+#[test]
+fn gov_receipts_served_incrementally() {
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default());
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let gt = cluster.replica(ReplicaId(0)).gt_hash();
+
+    // A recorded (non-passing) proposal: one governance link, no boundary.
+    let mut next = spec.genesis.clone();
+    next.number = spec.genesis.number + 1;
+    let propose = SignedRequest::sign(
+        Request {
+            action: RequestAction::Governance(GovAction::Propose {
+                proposal_id: 1,
+                new_config: next,
+            }),
+            client: ClientId(0),
+            gt_hash: gt,
+            min_index: LedgerIdx(0),
+            req_id: 1,
+        },
+        &spec.member_keys[0],
+    );
+    cluster.submit_raw(ClientId(0), propose);
+    for _ in 0..8 {
+        cluster.round();
+    }
+    let replica = &mut cluster.replicas.get_mut(&ReplicaId(1)).expect("replica").inner;
+    assert!(!replica.gov_chain().is_empty(), "governance receipt must be chained");
+    let gov_index = replica.gov_chain()[0]
+        .receipt()
+        .tx_index()
+        .expect("governance links carry a tx index");
+
+    let fetch = |replica: &mut ia_ccf::core::Replica, from: LedgerIdx| -> usize {
+        let outs = replica.handle(Input::Message {
+            from: NodeId::Client(ClientId(1)),
+            msg: ProtocolMsg::FetchGovReceipts { from_index: from },
+        });
+        match client_sends(outs).as_slice() {
+            [(_, bytes)] => match ProtocolMsg::from_bytes(bytes).expect("decodes") {
+                ProtocolMsg::GovReceipts { receipts } => receipts.len(),
+                other => panic!("expected GovReceipts, got {other:?}"),
+            },
+            other => panic!("expected one response, got {}", other.len()),
+        }
+    };
+
+    assert_eq!(fetch(replica, LedgerIdx(0)), 1, "fresh client gets the full chain");
+    assert_eq!(
+        fetch(replica, gov_index),
+        0,
+        "a client already verified up to the link gets an empty (incremental) response"
+    );
+    assert_eq!(
+        fetch(replica, LedgerIdx(gov_index.0.saturating_sub(1))),
+        1,
+        "an index below the link still serves it"
+    );
+}
