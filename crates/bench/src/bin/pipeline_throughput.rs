@@ -19,12 +19,20 @@
 //! receipt cache (locator index + frozen paths + memoized certificates)
 //! exists for; its number is recorded alongside the throughput modes.
 //!
+//! A fourth mode measures *recovery*: **sync** commits a window, crashes
+//! a replica, then recovers it through the paged `FetchLedgerPage` state
+//! transfer (fresh instance, full replay with verification) and reports
+//! pages/s and bytes/s to full recovery — the workload the resumable
+//! transfer protocol exists for.
+//!
 //! Knobs:
 //!
-//! * `--mode=all|refetch` / `IACCF_MODE` — `refetch` runs only the
+//! * `--mode=all|refetch|sync` / `IACCF_MODE` — `refetch` runs only the
 //!   receipt-serving workload and writes
-//!   `target/experiments/pipeline_refetch.json`; `all` (default) runs
-//!   everything and writes the committed `BENCH_pipeline.json`;
+//!   `target/experiments/pipeline_refetch.json`; `sync` runs only the
+//!   recovery workload and writes `target/experiments/pipeline_sync.json`;
+//!   `all` (default) runs everything and writes the committed
+//!   `BENCH_pipeline.json`;
 //! * `--skew=N` / `IACCF_SKEW` — contended-mode skew percent (default 90);
 //! * `--shards=N` / `IACCF_SHARDS` — execution shard count (default 0 =
 //!   auto: the machine's available parallelism);
@@ -54,6 +62,7 @@ struct BenchConfig {
     shards: usize,
     quick: bool,
     refetch_only: bool,
+    sync_only: bool,
 }
 
 fn knob(cli: &str, env: &str) -> Option<u64> {
@@ -70,7 +79,9 @@ fn config() -> BenchConfig {
     let quick = std::env::var_os("PIPELINE_BENCH_QUICK").is_some();
     let skew_pct = knob("skew", "IACCF_SKEW").unwrap_or(90).min(100) as u8;
     let shards = knob("shards", "IACCF_SHARDS").unwrap_or(0) as usize;
-    let refetch_only = matches!(knob_str("mode", "IACCF_MODE").as_deref(), Some("refetch"));
+    let mode = knob_str("mode", "IACCF_MODE");
+    let refetch_only = matches!(mode.as_deref(), Some("refetch"));
+    let sync_only = matches!(mode.as_deref(), Some("sync"));
     if quick {
         BenchConfig {
             batches: 5,
@@ -80,6 +91,7 @@ fn config() -> BenchConfig {
             shards,
             quick,
             refetch_only,
+            sync_only,
         }
     } else {
         BenchConfig {
@@ -90,6 +102,7 @@ fn config() -> BenchConfig {
             shards,
             quick,
             refetch_only,
+            sync_only,
         }
     }
 }
@@ -247,8 +260,115 @@ fn run_refetch(batches: usize, batch_size: usize, accounts: u64, lookups: usize)
     lookups as f64 / elapsed.as_secs_f64()
 }
 
+/// Result of one recovery (state transfer) run.
+struct SyncResult {
+    pages: u64,
+    bytes: u64,
+    pages_s: f64,
+    bytes_s: f64,
+}
+
+/// The quick-mode sync workload — (commit batches, batch size, accounts).
+/// Shared by the CI smoke run, the `--mode=sync` quick run and the full
+/// run's committed `quick_ref_sync_bytes_per_sec` reference.
+const QUICK_SYNC: (usize, usize, u64) = (5, 20, 1_000);
+
+/// The recovery workload (`--mode=sync`, also folded into the full run):
+/// commit `batches × batch_size` SmallBank transactions, crash replica 3,
+/// then recover a fresh instance of it through the paged `FetchLedgerPage`
+/// state transfer — every page verified and replayed through the
+/// execution machinery — and measure pages/s and bytes/s to full
+/// recovery. 16 KiB pages, so the transfer genuinely pages (even in the
+/// quick configuration) instead of fitting one response.
+fn run_sync(batches: usize, batch_size: usize, accounts: u64) -> SyncResult {
+    let n_clients = 4;
+    let params = ProtocolParams {
+        sync_page_bytes: 16 * 1024,
+        ..ProtocolParams::default()
+    };
+    let spec = ClusterSpec::new(4, n_clients, params)
+        .with_config(|c| c.checkpoint_interval = 10_000);
+    let mut cluster = DetCluster::new(&spec, Arc::new(ia_ccf_smallbank::SmallBankApp));
+    let mut seed_kv = ia_ccf_kv::KvStore::new();
+    ia_ccf_smallbank::populate(&mut seed_kv, accounts, 10_000);
+    let cp = seed_kv.checkpoint();
+    let ids: Vec<_> = cluster.replicas.keys().copied().collect();
+    for id in ids {
+        cluster.replicas.get_mut(&id).expect("replica").inner.prime_kv(&cp);
+    }
+    let mut workloads: Vec<ia_ccf_smallbank::Workload> = (0..n_clients)
+        .map(|i| ia_ccf_smallbank::Workload::with_skew(accounts, 11_000 + i as u64, 0))
+        .collect();
+    let mut done = 0;
+    for _ in 0..batches {
+        for k in 0..batch_size {
+            let ci = k % n_clients;
+            let op = workloads[ci].next_op();
+            cluster.submit(spec.clients[ci].0, op.proc, op.args);
+        }
+        done += batch_size;
+        assert!(cluster.run_until_finished(done, 2_000), "sync warm-up stalled");
+    }
+
+    // Crash replica 3 and recover a fresh instance of it via pages.
+    cluster.crash(ReplicaId(3));
+    let mut fresh = spec.build_replica(3, Arc::new(ia_ccf_smallbank::SmallBankApp));
+    fresh.prime_kv(&cp);
+    let t0 = Instant::now();
+    cluster.recover(fresh, ReplicaId(0));
+    assert!(
+        cluster.run_until(5_000, |c| c.replica(ReplicaId(3)).sync_report().complete),
+        "recovery did not complete: {:?}",
+        cluster.replica(ReplicaId(3)).sync_report()
+    );
+    let elapsed = t0.elapsed();
+    let report = cluster.replica(ReplicaId(3)).sync_report();
+    assert!(report.pages >= 2, "the transfer must actually page ({} pages)", report.pages);
+    assert_eq!(report.failovers, 0, "honest servers: no failover expected");
+    // Full-recovery check: the replayed ledger and KV state match the
+    // server's, byte for byte (digest-level here; the byte-level
+    // differential lives in tests/paged_fetch_equiv.rs).
+    let (recovered, server) = (cluster.replica(ReplicaId(3)), cluster.replica(ReplicaId(0)));
+    assert_eq!(recovered.ledger().len(), server.ledger().len());
+    assert_eq!(recovered.ledger().root_m(), server.ledger().root_m());
+    assert_eq!(recovered.kv().digest(), server.kv().digest());
+
+    SyncResult {
+        pages: report.pages,
+        bytes: report.bytes,
+        pages_s: report.pages as f64 / elapsed.as_secs_f64(),
+        bytes_s: report.bytes as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn run_sync_quick() -> SyncResult {
+    let (batches, batch_size, accounts) = QUICK_SYNC;
+    run_sync(batches, batch_size, accounts)
+}
+
 fn main() {
     let cfg = config();
+    if cfg.sync_only {
+        let (batches, batch_size, accounts) =
+            if cfg.quick { QUICK_SYNC } else { (40, 100, cfg.accounts) };
+        println!("=== pipeline_throughput --mode=sync (4 replicas, SmallBank) ===");
+        let r = run_sync(batches, batch_size, accounts);
+        println!(
+            "sync: pages={} bytes={} pages_s={:.1} bytes_s={:.1}",
+            r.pages, r.bytes, r.pages_s, r.bytes_s
+        );
+        let _ = std::fs::create_dir_all("target/experiments");
+        let json = format!(
+            "{{\n  \"bench\": \"pipeline_throughput\",\n  \"mode\": \"sync\",\n  \
+             \"quick\": {},\n  \"sync_pages\": {},\n  \"sync_bytes\": {},\n  \
+             \"sync_pages_per_sec\": {:.1},\n  \"sync_bytes_per_sec\": {:.1}\n}}\n",
+            cfg.quick, r.pages, r.bytes, r.pages_s, r.bytes_s
+        );
+        let path = "target/experiments/pipeline_sync.json";
+        std::fs::write(path, json).expect("write bench json");
+        println!("[written {path}]");
+        return;
+    }
     if cfg.refetch_only {
         let (batches, batch_size, accounts, lookups) =
             if cfg.quick { QUICK_REFETCH } else { (40, 100, cfg.accounts, 200_000) };
@@ -280,17 +400,21 @@ fn main() {
     );
 
     let (path, json) = if cfg.quick {
-        // Quick mode is the CI smoke: the baseline throughput mode plus a
-        // tiny refetch run (the comparison script reads both ops/s keys);
-        // the numbers are meaningless for the trajectory — never
-        // overwrite the committed repo-root baseline with them.
+        // Quick mode is the CI smoke: the baseline throughput mode plus
+        // tiny refetch and sync runs (the comparison script reads the
+        // ops/s and bytes/s keys); the numbers are meaningless for the
+        // trajectory — never overwrite the committed repo-root baseline
+        // with them.
         let refetch = run_refetch_quick();
         println!("refetch   (quick):    ops_s={refetch:.1}");
+        let sync = run_sync_quick();
+        println!("sync      (quick):    pages_s={:.1} bytes_s={:.1}", sync.pages_s, sync.bytes_s);
         let _ = std::fs::create_dir_all("target/experiments");
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"quick\": true,\n  \
-             \"ops_per_sec\": {:.1},\n  \"refetch_ops_per_sec\": {refetch:.1}\n}}\n",
-            baseline.ops_s
+             \"ops_per_sec\": {:.1},\n  \"refetch_ops_per_sec\": {refetch:.1},\n  \
+             \"sync_bytes_per_sec\": {:.1}\n}}\n",
+            baseline.ops_s, sync.bytes_s
         );
         ("target/experiments/pipeline_quick.json", json)
     } else {
@@ -304,11 +428,21 @@ fn main() {
         let refetch_lookups = 200_000usize;
         let refetch = run_refetch(cfg.batches, cfg.batch_size, cfg.accounts, refetch_lookups);
         println!("refetch   (serving):  lookups={refetch_lookups} ops_s={refetch:.1}");
+        // The recovery path, at the full window size.
+        let sync = run_sync(cfg.batches, cfg.batch_size, cfg.accounts);
+        println!(
+            "sync      (recovery): pages={} bytes={} pages_s={:.1} bytes_s={:.1}",
+            sync.pages, sync.bytes, sync.pages_s, sync.bytes_s
+        );
         // Also measure the quick configurations: the committed references
         // CI's quick smoke run is compared against (warn-only).
         let quick_ref = run_mode(5, 20, 1_000, 0, cfg.shards);
         let quick_refetch = run_refetch_quick();
-        println!("quick-ref (CI smoke): ops_s={:.1} refetch_ops_s={quick_refetch:.1}", quick_ref.ops_s);
+        let quick_sync = run_sync_quick();
+        println!(
+            "quick-ref (CI smoke): ops_s={:.1} refetch_ops_s={quick_refetch:.1} sync_bytes_s={:.1}",
+            quick_ref.ops_s, quick_sync.bytes_s
+        );
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"replicas\": 4,\n  \
              \"batches\": {},\n  \"batch_size\": {},\n  \"accounts\": {},\n  \
@@ -318,8 +452,11 @@ fn main() {
              \"contended_batch_p50_ms\": {:.3},\n  \"contended_batch_p99_ms\": {:.3},\n  \
              \"refetch_lookups\": {refetch_lookups},\n  \
              \"refetch_ops_per_sec\": {refetch:.1},\n  \
+             \"sync_pages\": {},\n  \"sync_bytes\": {},\n  \
+             \"sync_pages_per_sec\": {:.1},\n  \"sync_bytes_per_sec\": {:.1},\n  \
              \"quick_ref_ops_per_sec\": {:.1},\n  \
-             \"quick_ref_refetch_ops_per_sec\": {quick_refetch:.1}\n}}\n",
+             \"quick_ref_refetch_ops_per_sec\": {quick_refetch:.1},\n  \
+             \"quick_ref_sync_bytes_per_sec\": {:.1}\n}}\n",
             cfg.batches,
             cfg.batch_size,
             cfg.accounts,
@@ -330,7 +467,12 @@ fn main() {
             contended.ops_s,
             contended.p50_ms,
             contended.p99_ms,
-            quick_ref.ops_s
+            sync.pages,
+            sync.bytes,
+            sync.pages_s,
+            sync.bytes_s,
+            quick_ref.ops_s,
+            quick_sync.bytes_s
         );
         ("BENCH_pipeline.json", json)
     };

@@ -1,4 +1,5 @@
-//! Bootstrapping a replica from a ledger (§3.4, §5.1).
+//! Bootstrapping a replica from a ledger (§3.4, §5.1) and the paged
+//! state-transfer state machine that feeds it.
 //!
 //! "A newly added replica first obtains the ledger and a recent checkpoint,
 //! and replays the ledger from that checkpoint." This module implements the
@@ -8,23 +9,42 @@
 //! reproduce the signed ones. Governance receipts for served chains are
 //! reconstructed from the in-ledger evidence entries.
 //!
+//! **Obtaining** the ledger is the resumable `FetchLedgerPage` protocol
+//! ([`LedgerSyncState`]): the recovering replica requests bounded pages
+//! (continuation token = next batch sequence number), replays every
+//! *complete* segment as it arrives — each one verified against the signed
+//! batch artifacts and applied atomically (a failing segment rolls back
+//! before the error propagates) — and re-requests the continuation until
+//! the server reports `done`. A server that times out, stops progressing,
+//! sends undecodable or structurally broken pages, or claims `done` short
+//! of its own advertised continuation is abandoned and the sync fails
+//! over to the next replica, resuming from the first unapplied batch. A
+//! view change landing mid-transfer shows up as a divergence between the
+//! server's (post-rollback) stream and our applied-but-uncommitted tail;
+//! the requester rolls its own tail back to the committed frontier once
+//! per continuation point and resumes, so partially-applied state is
+//! never corrupted.
+//!
 //! (We replay from genesis rather than from a checkpoint snapshot: the
 //! checkpoint fast-path is an optimization the paper uses for multi-GB
 //! ledgers; correctness-wise replay-from-genesis is the stronger check and
 //! our simulated ledgers are small. The auditor *does* implement
 //! checkpoint-based replay, §4.1, where it is load-bearing.)
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use ia_ccf_governance::chain::GovLink;
-use ia_ccf_ledger::segment::{segment_entries, Segment};
+use ia_ccf_ledger::segment::{segment_complete_prefix, segment_entries, Segment};
 use ia_ccf_types::{
-    BatchCertificate, ClientId, Configuration, LedgerEntry, PrePrepare, PublicKey, Receipt,
-    ReceiptBody, SeqNum, SignedRequest, TxWitness,
+    BatchCertificate, ClientId, Configuration, Digest, LedgerEntry, PrePrepare, ProtocolMsg,
+    PublicKey, Receipt, ReceiptBody, ReplicaId, SeqNum, SignedRequest, TxWitness, Wire,
 };
 
 use crate::app::App;
+use crate::events::Output;
 use crate::params::ProtocolParams;
+use crate::pipeline::BatchMark;
 use crate::replica::Replica;
 
 /// Why a ledger could not be replayed.
@@ -56,6 +76,64 @@ impl std::fmt::Display for BootstrapError {
 
 impl std::error::Error for BootstrapError {}
 
+/// What a running ledger sync is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SyncPurpose {
+    /// Full state transfer: every page is verified against the signed
+    /// batch artifacts and replayed through the execution machinery.
+    Recovery,
+    /// View-change synchronisation: the replica only needs the request
+    /// bodies of the re-proposed tail, so pages are mined for
+    /// transactions and the stashed new-view is retried once `done`.
+    ViewChange,
+}
+
+/// Requester side of the paged `FetchLedgerPage` protocol.
+#[derive(Debug, Clone)]
+pub(crate) struct LedgerSyncState {
+    pub purpose: SyncPurpose,
+    /// The replica currently serving pages.
+    pub server: ReplicaId,
+    /// Continuation token: the batch sequence number the next page must
+    /// start at.
+    pub from_seq: SeqNum,
+    /// Decoded entries not yet replayed (the withheld tail of the last
+    /// page — a trailing batch segment may still gain transactions).
+    pub buffered: Vec<LedgerEntry>,
+    /// Servers already abandoned this sync.
+    pub tried: BTreeSet<ReplicaId>,
+    /// Tick the last page (or the initial request) was seen, for the
+    /// failover timeout.
+    pub last_page_tick: u64,
+    /// Continuation token at which the divergent-tail rollback already
+    /// ran — a second mismatch at the same token is the server's fault,
+    /// not a mid-transfer view change.
+    pub rolled_back_at: Option<SeqNum>,
+    /// Every peer failed and the sync is waiting out one timeout before
+    /// retrying the rotation from scratch — backoff, so a cluster-wide
+    /// outage produces one request per timeout instead of a request
+    /// storm.
+    pub paused: bool,
+}
+
+/// Counters and outcome of the most recent ledger sync (kept after the
+/// sync state itself is dropped; read by harnesses, tests and the
+/// `--mode sync` benchmark).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncReport {
+    /// Pages received.
+    pub pages: u64,
+    /// Encoded entry bytes received across all pages.
+    pub bytes: u64,
+    /// Times the sync abandoned a server and moved to the next one.
+    pub failovers: u64,
+    /// Times the requester rolled its own uncommitted tail back after a
+    /// mid-transfer view change made the server's stream diverge.
+    pub tail_rollbacks: u64,
+    /// Whether the sync ran to completion.
+    pub complete: bool,
+}
+
 impl Replica {
     /// Build a replica by replaying `entries` (a full ledger starting at
     /// genesis) through the normal execution machinery.
@@ -84,96 +162,475 @@ impl Replica {
     ) -> Result<(), BootstrapError> {
         let segments = segment_entries(entries, base)
             .map_err(|e| BootstrapError::Malformed(e.to_string()))?;
-        let mut max_seq = SeqNum(0);
-        let mut max_evidenced = SeqNum(0);
-
         for seg in &segments {
-            match seg {
-                Segment::Genesis { .. } => {
-                    return Err(BootstrapError::Malformed("unexpected genesis".into()));
+            self.replay_segment(seg, entries)?;
+        }
+        Ok(())
+    }
+
+    /// Validate and apply one ledger segment, updating the frontiers
+    /// incrementally. **Atomic**: on any error the segment's partial
+    /// effects (evidence appends, execution state) are rolled back before
+    /// the error propagates, so a paged sync can fail over to another
+    /// server with a clean applied prefix.
+    pub(crate) fn replay_segment(
+        &mut self,
+        seg: &Segment,
+        entries: &[LedgerEntry],
+    ) -> Result<(), BootstrapError> {
+        match seg {
+            Segment::Genesis { .. } => {
+                Err(BootstrapError::Malformed("unexpected genesis".into()))
+            }
+            Segment::ViewChange { set_at, nv_at, view } => {
+                // A restarted page stream re-serves inter-batch entries
+                // after the previous batch token, so an already-applied
+                // pair must be skipped, not duplicated. The check is on
+                // ledger *content* (is this view's new-view entry
+                // present?), not on `self.view`: a divergence rollback
+                // can truncate the pair away while the view counter
+                // stays advanced, and the re-served pair must then be
+                // re-applied or every subsequent root_m check fails.
+                if self.ledger.has_new_view(*view) {
+                    return Ok(());
                 }
-                Segment::ViewChange { set_at, nv_at, view } => {
-                    self.ledger.append(entries[*set_at].clone());
-                    self.ledger.append(entries[*nv_at].clone());
-                    self.view = *view;
+                self.ledger.append(entries[*set_at].clone());
+                self.ledger.append(entries[*nv_at].clone());
+                self.view = (*view).max(self.view);
+                Ok(())
+            }
+            Segment::Batch { evidence_at, nonces_at, pp_at, tx_at, seq, view } => {
+                let LedgerEntry::PrePrepare(pp) = &entries[*pp_at] else {
+                    unreachable!("segmenter guarantees");
+                };
+                let pp: PrePrepare = pp.clone();
+
+                // Verify the primary's signature under the batch's
+                // configuration — before any state is touched.
+                let config = self.config_for_seq(*seq).clone();
+                let payload = PrePrepare::signing_payload(&pp.core, &pp.root_g);
+                let ok = config
+                    .replica_key(pp.core.primary)
+                    .map(|k| k.verify(&payload, &pp.sig))
+                    .unwrap_or(false);
+                if !ok || config.primary_of(*view) != pp.core.primary {
+                    return Err(BootstrapError::BadPrePrepareSig(*seq));
                 }
-                Segment::Batch { evidence_at, nonces_at, pp_at, tx_at, seq, view } => {
-                    let LedgerEntry::PrePrepare(pp) = &entries[*pp_at] else {
+
+                // Everything past this point mutates; the mark lets a
+                // failing segment restore the pre-segment state exactly.
+                let mark = BatchMark {
+                    ledger_len_before: self.ledger.len(),
+                    tx_index_before: self.next_tx_index,
+                    gov_index_before: self.last_gov_index,
+                    gov_before: Arc::clone(&self.gov_snapshot),
+                };
+
+                // Append evidence exactly as recorded.
+                if let (Some(ev), Some(no)) = (evidence_at, nonces_at) {
+                    self.ledger.append(entries[*ev].clone());
+                    self.ledger.append(entries[*no].clone());
+                }
+                if self.ledger.root_m() != pp.core.root_m {
+                    self.rollback_batch(*seq, &mark);
+                    return Err(BootstrapError::ExecutionMismatch(*seq));
+                }
+
+                // Gather and re-execute the batch.
+                let mut requests: Vec<SignedRequest> = Vec::with_capacity(tx_at.len());
+                let mut recorded = Vec::with_capacity(tx_at.len());
+                for &ti in tx_at {
+                    let LedgerEntry::Tx(tx) = &entries[ti] else {
                         unreachable!("segmenter guarantees");
                     };
-                    let pp: PrePrepare = pp.clone();
-
-                    // Verify the primary's signature under the batch's
-                    // configuration.
-                    let config = self.config_for_seq(*seq).clone();
-                    let payload = PrePrepare::signing_payload(&pp.core, &pp.root_g);
-                    let ok = config
-                        .replica_key(pp.core.primary)
-                        .map(|k| k.verify(&payload, &pp.sig))
-                        .unwrap_or(false);
-                    if !ok || config.primary_of(*view) != pp.core.primary {
-                        return Err(BootstrapError::BadPrePrepareSig(*seq));
-                    }
-
-                    // Append evidence exactly as recorded.
-                    if let (Some(ev), Some(no)) = (evidence_at, nonces_at) {
-                        self.ledger.append(entries[*ev].clone());
-                        self.ledger.append(entries[*no].clone());
-                        max_evidenced = max_evidenced.max(pp.core.evidence_seq);
-                        self.reconstruct_gov_receipts_from_ledger(&pp, entries, *ev, *no);
-                    }
-                    if self.ledger.root_m() != pp.core.root_m {
-                        return Err(BootstrapError::ExecutionMismatch(*seq));
-                    }
-
-                    // Gather and re-execute the batch.
-                    let mut requests: Vec<SignedRequest> = Vec::with_capacity(tx_at.len());
-                    let mut recorded = Vec::with_capacity(tx_at.len());
-                    for &ti in tx_at {
-                        let LedgerEntry::Tx(tx) = &entries[ti] else {
-                            unreachable!("segmenter guarantees");
-                        };
-                        requests.push(tx.request.clone());
-                        recorded.push((tx.index, tx.result.clone()));
-                        self.req_store.insert(tx.request.digest(), tx.request.clone());
-                    }
-                    let exec = self
-                        .execute_batch(*seq, *view, pp.core.kind, &requests)
-                        .map_err(|_| BootstrapError::ExecutionMismatch(*seq))?;
-                    if exec.tree.root() != pp.root_g {
-                        return Err(BootstrapError::ExecutionMismatch(*seq));
-                    }
-                    for (et, (idx, res)) in exec.txs.iter().zip(&recorded) {
-                        if et.index != *idx || &et.result != res {
-                            return Err(BootstrapError::ResultMismatch(*seq));
-                        }
-                    }
-
-                    self.batch_ledger_pos.insert(*seq, self.ledger.len());
-                    self.ledger.append(LedgerEntry::PrePrepare(pp.clone()));
-                    for &ti in tx_at {
-                        self.ledger.append(entries[ti].clone());
-                    }
-                    for req in &requests {
-                        self.executed_reqs.insert(req.digest());
-                    }
-                    self.prepared_view.insert(*seq, *view);
-                    self.msgs.put_pp(pp.clone(), requests.iter().map(|r| r.digest()).collect());
-                    self.insert_batch_exec(*seq, exec);
-                    self.post_append_reconfig(*seq, pp.core.kind);
-                    max_seq = max_seq.max(*seq);
+                    requests.push(tx.request.clone());
+                    recorded.push((tx.index, tx.result.clone()));
+                    self.req_store.insert(tx.request.digest(), tx.request.clone());
                 }
+                let exec = match self.execute_batch(*seq, *view, pp.core.kind, &requests) {
+                    Ok(exec) => exec,
+                    Err(_) => {
+                        self.rollback_batch(*seq, &mark);
+                        return Err(BootstrapError::ExecutionMismatch(*seq));
+                    }
+                };
+                if exec.tree.root() != pp.root_g {
+                    self.rollback_batch(*seq, &mark);
+                    return Err(BootstrapError::ExecutionMismatch(*seq));
+                }
+                for (et, (idx, res)) in exec.txs.iter().zip(&recorded) {
+                    if et.index != *idx || &et.result != res {
+                        self.rollback_batch(*seq, &mark);
+                        return Err(BootstrapError::ResultMismatch(*seq));
+                    }
+                }
+
+                // Commit the segment.
+                self.ledger.append(LedgerEntry::PrePrepare(pp.clone()));
+                for &ti in tx_at {
+                    self.ledger.append(entries[ti].clone());
+                }
+                for req in &requests {
+                    self.executed_reqs.insert(req.digest());
+                }
+                self.prepared_view.insert(*seq, *view);
+                self.msgs.put_pp(pp.clone(), requests.iter().map(|r| r.digest()).collect());
+                self.insert_batch_exec(*seq, exec);
+                self.batch_marks.insert(*seq, mark);
+                self.post_append_reconfig(*seq, pp.core.kind);
+
+                // Frontiers: a replayed batch is prepared; in-ledger
+                // evidence marks its target committed. We did not
+                // participate, so we hold no nonces for these slots — the
+                // evidence-fetch path covers gaps.
+                self.prepared_up_to = self.prepared_up_to.max(*seq);
+                self.seq_next = self.seq_next.max(seq.next());
+                if let (Some(ev), Some(no)) = (evidence_at, nonces_at) {
+                    self.reconstruct_gov_receipts_from_ledger(&pp, entries, *ev, *no);
+                    if pp.core.evidence_seq > self.committed_up_to {
+                        self.committed_up_to = pp.core.evidence_seq;
+                        self.kv.release_batches_up_to(self.committed_up_to.0);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Paged state transfer (requester side).
+    // ------------------------------------------------------------------
+
+    /// Start a full recovery sync from `server`: request pages from the
+    /// first sequence number this replica has not applied, replay them
+    /// incrementally, and fail over to other replicas on timeout or
+    /// misbehaviour. While the sync runs the replica processes only page
+    /// responses (state transfer, not consensus). Returns the outputs to
+    /// route (the first page request).
+    pub fn begin_ledger_sync(&mut self, server: ReplicaId) -> Vec<Output> {
+        self.sync_report = SyncReport::default();
+        self.ledger_sync = Some(LedgerSyncState {
+            purpose: SyncPurpose::Recovery,
+            server,
+            from_seq: self.seq_next,
+            buffered: Vec::new(),
+            tried: BTreeSet::new(),
+            last_page_tick: self.tick,
+            rolled_back_at: None,
+            paused: false,
+        });
+        self.request_sync_page();
+        std::mem::take(&mut self.out)
+    }
+
+    /// Counters of the most recent (or running) ledger sync.
+    pub fn sync_report(&self) -> SyncReport {
+        self.sync_report
+    }
+
+    /// Whether a full recovery sync is in flight (consensus traffic is
+    /// ignored until it completes).
+    pub fn in_recovery_sync(&self) -> bool {
+        matches!(
+            &self.ledger_sync,
+            Some(LedgerSyncState { purpose: SyncPurpose::Recovery, .. })
+        )
+    }
+
+    /// Start a view-change ledger sync (request bodies for the
+    /// re-proposed tail; see [`crate::viewchange`]).
+    pub(crate) fn start_vc_ledger_sync(&mut self, server: ReplicaId, from_seq: SeqNum) {
+        self.sync_report = SyncReport::default();
+        self.ledger_sync = Some(LedgerSyncState {
+            purpose: SyncPurpose::ViewChange,
+            server,
+            from_seq,
+            buffered: Vec::new(),
+            tried: BTreeSet::new(),
+            last_page_tick: self.tick,
+            rolled_back_at: None,
+            paused: false,
+        });
+        self.request_sync_page();
+    }
+
+    /// Ask the current server for the next page.
+    fn request_sync_page(&mut self) {
+        let Some(state) = &mut self.ledger_sync else {
+            return;
+        };
+        state.last_page_tick = self.tick;
+        let (server, from_seq) = (state.server, state.from_seq);
+        let max_bytes = self.params.effective_sync_page_bytes();
+        self.send_replica(server, ProtocolMsg::FetchLedgerPage { from_seq, max_bytes });
+    }
+
+    /// Liveness check, called every tick while a sync is active: a server
+    /// that has not produced a page within the timeout is abandoned; a
+    /// paused sync (every peer failed) re-enters the rotation instead.
+    pub(crate) fn sync_tick(&mut self) {
+        let Some(state) = &self.ledger_sync else {
+            return;
+        };
+        if self.tick.saturating_sub(state.last_page_tick) > self.params.sync_timeout_ticks {
+            if state.paused {
+                self.ledger_sync.as_mut().expect("sync running").paused = false;
+                self.request_sync_page();
+            } else {
+                self.sync_failover("page timeout");
+            }
+        }
+    }
+
+    /// One `FetchLedgerPageResponse` arrived.
+    pub(crate) fn on_ledger_page(
+        &mut self,
+        sender: ReplicaId,
+        entries: Vec<Vec<u8>>,
+        next_seq: SeqNum,
+        done: bool,
+    ) {
+        let Some(state) = &self.ledger_sync else {
+            return; // no sync running: stale or unsolicited page
+        };
+        if state.server != sender {
+            return; // page from an abandoned server
+        }
+        let from_seq = state.from_seq;
+        self.sync_report.pages += 1;
+        self.sync_report.bytes += entries.iter().map(|e| e.len() as u64).sum::<u64>();
+
+        // A page must be decodable and must progress: a non-final page
+        // with no entries, or a continuation that fails to advance (or
+        // goes backwards), is a stalled or hostile server.
+        if next_seq < from_seq || (!done && (entries.is_empty() || next_seq <= from_seq)) {
+            return self.sync_failover("page does not progress");
+        }
+        let mut decoded = Vec::with_capacity(entries.len());
+        for bytes in &entries {
+            match LedgerEntry::from_bytes(bytes) {
+                Ok(e) => decoded.push(e),
+                Err(_) => return self.sync_failover("undecodable ledger entry"),
             }
         }
 
-        // Frontiers: everything replayed is prepared; batches with in-ledger
-        // evidence are committed. We did not participate, so we hold no
-        // nonces for these slots — the evidence-fetch path covers gaps.
-        self.prepared_up_to = max_seq;
-        self.committed_up_to = max_evidenced;
-        self.seq_next = max_seq.next();
-        self.kv.release_batches_up_to(max_evidenced.0);
-        Ok(())
+        let purpose = state.purpose;
+        match purpose {
+            SyncPurpose::ViewChange => self.vc_page_arrived(decoded, next_seq, done),
+            SyncPurpose::Recovery => self.recovery_page_arrived(decoded, next_seq, done),
+        }
+    }
+
+    /// Recovery purpose: buffer, replay every complete segment, continue
+    /// or finish.
+    fn recovery_page_arrived(&mut self, decoded: Vec<LedgerEntry>, next_seq: SeqNum, done: bool) {
+        {
+            let state = self.ledger_sync.as_mut().expect("sync running");
+            state.buffered.extend(decoded);
+            state.from_seq = next_seq;
+            state.last_page_tick = self.tick;
+            state.paused = false;
+        }
+        match self.replay_sync_buffer(done) {
+            Ok(()) => {}
+            Err(e) => return self.sync_diverged(&e),
+        }
+        let Some(state) = &self.ledger_sync else {
+            return;
+        };
+        // After replay the buffer holds at most one withheld segment (a
+        // trailing batch whose transaction run may still grow). An honest
+        // segment is bounded by the batch size; a server streaming a
+        // never-terminating transaction run to balloon the buffer is
+        // hostile and abandoned before memory grows without bound.
+        if state.buffered.len() > 4 * self.params.batch_max.max(1) + 16 {
+            return self.sync_failover("batch segment never terminates");
+        }
+        if !done {
+            return self.request_sync_page();
+        }
+        // Done: everything must have replayed, and our applied frontier
+        // must reach the server's advertised continuation — a server
+        // whose final page falls short (truncated entries, forged token)
+        // is abandoned like any other misbehaviour.
+        if !state.buffered.is_empty() || self.seq_next != next_seq {
+            return self.sync_failover("done short of advertised continuation");
+        }
+        let server = state.server;
+        self.ledger_sync = None;
+        self.sync_report.complete = true;
+        self.note_progress();
+        // Close the commit gap: the synced tail is prepared but its
+        // evidence lags by the pipeline depth; fetch the prepare/commit
+        // messages so the committed frontier catches up (§3.1 gap fill).
+        for s in self.committed_up_to.0 + 1..=self.prepared_up_to.0 {
+            self.send_replica(server, ProtocolMsg::FetchEvidence { seq: SeqNum(s) });
+        }
+    }
+
+    /// Replay every provably-complete segment in the sync buffer; with
+    /// `done` the whole buffer must segment cleanly.
+    fn replay_sync_buffer(&mut self, done: bool) -> Result<(), BootstrapError> {
+        let mut buffered = {
+            let state = self.ledger_sync.as_mut().expect("sync running");
+            std::mem::take(&mut state.buffered)
+        };
+        let base = self.ledger.len() as usize; // nonzero ⇒ genesis rejected
+        let result = (|| {
+            if done {
+                let segs = segment_entries(&buffered, base)
+                    .map_err(|e| BootstrapError::Malformed(e.to_string()))?;
+                for seg in &segs {
+                    self.replay_segment(seg, &buffered)?;
+                }
+                buffered.clear();
+            } else {
+                let (segs, consumed) = segment_complete_prefix(&buffered, base)
+                    .map_err(|e| BootstrapError::Malformed(e.to_string()))?;
+                for seg in &segs {
+                    self.replay_segment(seg, &buffered)?;
+                }
+                buffered.drain(..consumed);
+            }
+            Ok(())
+        })();
+        if let Some(state) = self.ledger_sync.as_mut() {
+            state.buffered = buffered;
+        }
+        result
+    }
+
+    /// A replayed segment failed verification. The benign cause is a view
+    /// change that landed mid-transfer: the server rolled back and
+    /// re-proposed the uncommitted tail, so its stream no longer extends
+    /// the tail *we* applied from earlier pages. Roll our own
+    /// uncommitted tail back to the committed frontier (Lemma 1 rollback
+    /// — partially-applied state is never left corrupt) and resume; if
+    /// the mismatch repeats at the same continuation point the server
+    /// itself is at fault and the sync fails over.
+    fn sync_diverged(&mut self, err: &BootstrapError) {
+        let token = self.committed_up_to.next();
+        let can_roll_back = self.seq_next > token;
+        let already = self
+            .ledger_sync
+            .as_ref()
+            .is_some_and(|s| s.rolled_back_at == Some(token));
+        if !can_roll_back || already {
+            return self.sync_failover(&format!("replay failed: {err}"));
+        }
+        self.sync_report.tail_rollbacks += 1;
+        if crate::replica::debug_enabled() {
+            eprintln!(
+                "[{}] sync: replay diverged ({err}); rolling uncommitted tail back to {}",
+                self.id, self.committed_up_to
+            );
+        }
+        let committed = self.committed_up_to;
+        self.reset_to_seq(committed);
+        self.seq_next = committed.next();
+        let state = self.ledger_sync.as_mut().expect("sync running");
+        state.rolled_back_at = Some(token);
+        state.from_seq = committed.next();
+        state.buffered.clear();
+        self.request_sync_page();
+    }
+
+    /// Abandon the current server and move to the next replica of the
+    /// active configuration; a recovery sync cycles forever (a recovering
+    /// replica has nothing better to do), a view-change sync gives up and
+    /// leaves the pending new-view to the liveness timer.
+    fn sync_failover(&mut self, why: &str) {
+        let Some(mut state) = self.ledger_sync.take() else {
+            return;
+        };
+        self.sync_report.failovers += 1;
+        if crate::replica::debug_enabled() {
+            eprintln!("[{}] sync: abandoning server {} ({why})", self.id, state.server);
+        }
+        state.tried.insert(state.server);
+        let config = self.gov.active().clone();
+        let peers: Vec<ReplicaId> = (0..config.n())
+            .filter_map(|rank| config.replica_at_rank(rank).map(|r| r.id))
+            .filter(|id| *id != self.id)
+            .collect();
+        let candidate = peers.iter().find(|id| !state.tried.contains(id)).copied();
+        let next_server = match candidate {
+            Some(id) => id,
+            None => {
+                match state.purpose {
+                    SyncPurpose::ViewChange => return, // liveness timer takes over
+                    SyncPurpose::Recovery => {
+                        // Every peer tried: clear the slate and retry the
+                        // rotation after one timeout of backoff (a
+                        // recovering replica has nothing better to do,
+                        // and in a two-replica cluster the sole peer must
+                        // be retried rather than the sync silently
+                        // dying). The pause keeps a cluster-wide outage
+                        // at one request per timeout, not a storm.
+                        state.tried.clear();
+                        let Some(id) = peers
+                            .iter()
+                            .find(|id| **id != state.server)
+                            .or_else(|| peers.first())
+                            .copied()
+                        else {
+                            return; // single-replica cluster: nobody to ask
+                        };
+                        state.server = id;
+                        state.buffered.clear();
+                        state.rolled_back_at = None;
+                        state.from_seq = self.seq_next;
+                        state.paused = true;
+                        state.last_page_tick = self.tick;
+                        self.ledger_sync = Some(state);
+                        return;
+                    }
+                }
+            }
+        };
+        state.server = next_server;
+        state.buffered.clear();
+        state.rolled_back_at = None;
+        if state.purpose == SyncPurpose::Recovery {
+            // Resume from the first batch we have not applied — the
+            // applied prefix is verified and never re-fetched.
+            state.from_seq = self.seq_next;
+        }
+        self.ledger_sync = Some(state);
+        self.request_sync_page();
+    }
+
+    /// View-change purpose: admit the request bodies carried by the page
+    /// and retry the stashed new-view once the stream completes.
+    fn vc_page_arrived(&mut self, decoded: Vec<LedgerEntry>, next_seq: SeqNum, done: bool) {
+        for entry in decoded {
+            if let LedgerEntry::Tx(tx) = entry {
+                let digest: Digest = tx.request.digest();
+                self.req_store.entry(digest).or_insert(tx.request);
+            }
+        }
+        {
+            let state = self.ledger_sync.as_mut().expect("sync running");
+            state.from_seq = next_seq;
+            state.last_page_tick = self.tick;
+            state.paused = false;
+        }
+        if !done {
+            return self.request_sync_page();
+        }
+        self.ledger_sync = None;
+        self.sync_report.complete = true;
+        // Retry assembly/acceptance now that the bodies are present (the
+        // common case is missing request bodies only; a replica too far
+        // behind for that runs a full recovery sync instead).
+        let Some(pending) = self.pending_new_view.take() else {
+            return;
+        };
+        if let Some(nv) = pending.nv {
+            self.on_new_view(nv, pending.vcs, Vec::new());
+        } else {
+            self.try_assemble_new_view();
+        }
     }
 
     /// Rebuild governance receipts for an evidenced batch from the ledger's

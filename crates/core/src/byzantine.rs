@@ -44,6 +44,19 @@ pub enum Fault {
     /// this freezes the committed frontier with a live executed pipeline
     /// — the setup for the pipelined-batch view-change rollback tests.
     DropCommits,
+    /// Serve truncated ledger pages: every outgoing
+    /// `FetchLedgerPageResponse` loses the second half of its entries
+    /// while keeping the honest continuation token and `done` flag. A
+    /// recovering replica sees either a structural gap (the next page no
+    /// longer extends what it applied) or a final page that falls short
+    /// of the advertised continuation, and must fail over to an honest
+    /// server.
+    TruncateLedgerPages,
+    /// Serve ledger pages that never progress: every outgoing
+    /// `FetchLedgerPageResponse` is emptied and marked not-done, so the
+    /// transfer would spin forever. The requester's progress check
+    /// abandons the server on the first such page.
+    StallLedgerPages,
 }
 
 /// A replica wrapper that applies a [`Fault`] to the outputs of an
@@ -100,6 +113,39 @@ impl ByzantineReplica {
                         Output::BroadcastReplicas(ProtocolMsg::Commit(_))
                             | Output::SendReplica(_, ProtocolMsg::Commit(_))
                     )
+                })
+                .collect(),
+            Fault::TruncateLedgerPages => outs
+                .into_iter()
+                .map(|o| match o {
+                    Output::SendReplica(
+                        to,
+                        ProtocolMsg::FetchLedgerPageResponse { mut entries, next_seq, done },
+                    ) => {
+                        entries.truncate(entries.len() / 2);
+                        Output::SendReplica(
+                            to,
+                            ProtocolMsg::FetchLedgerPageResponse { entries, next_seq, done },
+                        )
+                    }
+                    other => other,
+                })
+                .collect(),
+            Fault::StallLedgerPages => outs
+                .into_iter()
+                .map(|o| match o {
+                    Output::SendReplica(
+                        to,
+                        ProtocolMsg::FetchLedgerPageResponse { next_seq, .. },
+                    ) => Output::SendReplica(
+                        to,
+                        ProtocolMsg::FetchLedgerPageResponse {
+                            entries: Vec::new(),
+                            next_seq,
+                            done: false,
+                        },
+                    ),
+                    other => other,
                 })
                 .collect(),
         }

@@ -37,7 +37,7 @@ pub mod replica;
 pub mod viewchange;
 
 pub use app::{App, AppError, AppRegistry, NullApp};
-pub use bootstrap::BootstrapError;
+pub use bootstrap::{BootstrapError, SyncReport};
 pub use byzantine::{ByzantineReplica, Fault};
 pub use checkpoint::{CheckpointRecord, CheckpointStore};
 pub use events::{Input, NodeId, Output};

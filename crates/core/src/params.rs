@@ -55,6 +55,18 @@ pub struct ProtocolParams {
     /// always finds its state. **Local** knob — never visible in ledger
     /// bytes or receipts.
     pub exec_retention_batches: u64,
+    /// Page budget (encoded-entry bytes) this replica asks for in each
+    /// `FetchLedgerPage` during state transfer. Clamped on both sides to
+    /// [`ia_ccf_types::messages::PAGE_CEILING_BYTES`], which sits well
+    /// under the 64 MiB frame limit — an oversized ledger now transfers
+    /// as many bounded pages instead of one unframable response.
+    /// **Local** knob: servers serve whatever budget a requester names
+    /// (clamped), so replicas of one cluster may differ.
+    pub sync_page_bytes: u64,
+    /// Ticks a syncing replica waits for the next ledger page before it
+    /// fails over to another server. Also bounds how long a stalled or
+    /// crashed page server can hold up recovery. **Local** knob.
+    pub sync_timeout_ticks: u64,
 }
 
 impl Default for ProtocolParams {
@@ -71,6 +83,8 @@ impl Default for ProtocolParams {
             peer_review: false,
             execution_shards: 0,
             exec_retention_batches: 64,
+            sync_page_bytes: 1 << 20,
+            sync_timeout_ticks: 8,
         }
     }
 }
@@ -85,6 +99,12 @@ impl ProtocolParams {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 8),
             n => n,
         }
+    }
+
+    /// The page budget this replica actually requests: the configured
+    /// knob clamped into `[1, PAGE_CEILING_BYTES]`.
+    pub fn effective_sync_page_bytes(&self) -> u64 {
+        self.sync_page_bytes.clamp(1, ia_ccf_types::messages::PAGE_CEILING_BYTES as u64)
     }
 
     /// The full protocol (Tab. 3 row (a)).
@@ -141,6 +161,18 @@ mod tests {
         assert!(f.replica_auth == ReplicaAuth::Macs && f.ledger_enabled);
         let g = ProtocolParams::no_ledger();
         assert!(!g.ledger_enabled);
+    }
+
+    #[test]
+    fn sync_page_bytes_clamps_under_frame_limit() {
+        let ceiling = ia_ccf_types::messages::PAGE_CEILING_BYTES as u64;
+        let d = ProtocolParams::default();
+        assert!(d.effective_sync_page_bytes() <= ceiling);
+        assert!(d.effective_sync_page_bytes() >= 1);
+        let huge = ProtocolParams { sync_page_bytes: u64::MAX, ..ProtocolParams::default() };
+        assert_eq!(huge.effective_sync_page_bytes(), ceiling);
+        let zero = ProtocolParams { sync_page_bytes: 0, ..ProtocolParams::default() };
+        assert_eq!(zero.effective_sync_page_bytes(), 1, "a zero budget still pages one batch");
     }
 
     #[test]

@@ -436,14 +436,84 @@ impl Replica {
         self.send_replica(sender, ProtocolMsg::FetchEvidenceResponse { prepares, commits });
     }
 
+    /// Serve one bounded page of the ledger suffix from `from_seq`
+    /// (resumable state transfer; see [`crate::bootstrap`] for the
+    /// requester-side state machine).
+    ///
+    /// Pages are cut at batch-segment boundaries so the continuation
+    /// token stays a sequence number: whole segments (evidence pair,
+    /// pre-prepare, `⟨t, i, o⟩` run, plus any inter-batch view-change
+    /// entries preceding them) are appended until the budget is spent;
+    /// the first segment is always included so every page makes progress.
+    /// The budget is clamped to
+    /// [`ia_ccf_types::messages::PAGE_CEILING_BYTES`], well under the
+    /// 64 MiB frame limit, so a page response is never unframable — the
+    /// seed's sender-side panic for oversized monolithic responses is no
+    /// longer constructible on this path.
+    pub(crate) fn serve_ledger_page(&mut self, sender: ReplicaId, from_seq: SeqNum, max_bytes: u64) {
+        let budget =
+            max_bytes.clamp(1, ia_ccf_types::messages::PAGE_CEILING_BYTES as u64);
+        let len = self.ledger.len();
+        let start = self.ledger.fetch_start_pos(from_seq);
+        // Work is O(page), not O(remaining ledger): batch boundaries come
+        // off a lazy range iterator and each candidate segment is *sized*
+        // (exact `encoded_len`) before it is encoded, so the segment that
+        // overflows the budget — and everything past it — costs nothing.
+        let mut cut = start;
+        let mut total = 0u64;
+        let mut next_seq = from_seq;
+        let mut done = true;
+        {
+            let mut seqs = self.ledger.batch_seqs_iter(from_seq).peekable();
+            while let Some(s) = seqs.next() {
+                let seg_end = match seqs.peek() {
+                    Some(next) => self.ledger.fetch_start_pos(*next),
+                    None => len,
+                };
+                let seg_bytes =
+                    self.ledger.encoded_range_len(LedgerIdx(cut), LedgerIdx(seg_end));
+                if cut > start && total + seg_bytes > budget {
+                    next_seq = s;
+                    done = false;
+                    break;
+                }
+                total += seg_bytes;
+                cut = seg_end;
+                next_seq = s.next();
+            }
+        }
+        if done {
+            // Everything fit: include any trailing non-batch entries; the
+            // final token is the next-to-assign sequence number (or the
+            // request's own token when nothing was served).
+            cut = len;
+        }
+        let entries = self.ledger.encode_range(LedgerIdx(start), LedgerIdx(cut));
+        self.send_replica(
+            sender,
+            ProtocolMsg::FetchLedgerPageResponse { entries, next_seq, done },
+        );
+    }
+
+    /// Serve a legacy single-shot [`ProtocolMsg::FetchLedger`] as the
+    /// first page of the paged protocol. Nothing in-tree sends the
+    /// monolithic request anymore, but answering it with a bounded page
+    /// keeps the frame-limit contract: no inbound message can make this
+    /// replica assemble an unframable response.
     pub(crate) fn serve_ledger_fetch(&mut self, sender: ReplicaId, from_seq: SeqNum) {
-        let from_pos = self
-            .batch_ledger_pos
-            .range(from_seq..)
-            .next()
-            .map(|(_, pos)| *pos)
-            .unwrap_or(self.ledger.len());
-        let entries = self.ledger.encode_range(LedgerIdx(from_pos), LedgerIdx(self.ledger.len()));
-        self.send_replica(sender, ProtocolMsg::FetchLedgerResponse { entries });
+        let budget = self.params.effective_sync_page_bytes();
+        self.serve_ledger_page(sender, from_seq, budget);
+    }
+
+    /// The seed's monolithic fetch response — the whole remaining ledger
+    /// from `from_seq` as one entry list — kept as the reference oracle
+    /// for the paged-transfer differential harness
+    /// (`tests/paged_fetch_equiv.rs`): the concatenation of served pages
+    /// must be byte-identical to this, for every `from_seq` and page
+    /// budget. Returns the encoded entries instead of sending them.
+    #[doc(hidden)]
+    pub fn ledger_fetch_oracle(&self, from_seq: SeqNum) -> Vec<Vec<u8>> {
+        let from_pos = self.ledger.fetch_start_pos(from_seq);
+        self.ledger.encode_range(LedgerIdx(from_pos), LedgerIdx(self.ledger.len()))
     }
 }

@@ -175,7 +175,6 @@ impl Replica {
 
         let batch_hashes: Vec<Digest> = requests.iter().map(|r| r.digest()).collect();
         if self.params.ledger_enabled {
-            self.batch_ledger_pos.insert(seq, mark.ledger_len_before);
             self.append_segment_entries(&pp, requests, &exec.txs);
         }
         for d in &batch_hashes {
@@ -345,7 +344,6 @@ impl Replica {
         }
 
         if self.params.ledger_enabled {
-            self.batch_ledger_pos.insert(seq, mark.ledger_len_before);
             self.append_segment_entries(&pp, requests, &exec.txs);
         }
         for d in &batch {

@@ -87,8 +87,6 @@ pub struct Replica {
     /// receipts and re-fetch serving read them without deep clones.
     pub(crate) batch_exec: BTreeMap<SeqNum, Arc<BatchExec>>,
     pub(crate) batch_marks: BTreeMap<SeqNum, BatchMark>,
-    /// Ledger entry position where each batch's segment starts (for fetch).
-    pub(crate) batch_ledger_pos: BTreeMap<SeqNum, u64>,
     /// Emission-stage caches: memoized batch certificates and the
     /// `tx_hash → (seq, pos)` re-fetch locator (see
     /// [`crate::pipeline::receipt_cache`] for the invalidation contract).
@@ -115,6 +113,11 @@ pub struct Replica {
 
     // View-change state (Alg. 2).
     pub(crate) pending_new_view: Option<crate::viewchange::PendingNewView>,
+
+    // Paged state transfer (recovery and view-change sync; see
+    // `crate::bootstrap`).
+    pub(crate) ledger_sync: Option<crate::bootstrap::LedgerSyncState>,
+    pub(crate) sync_report: crate::bootstrap::SyncReport,
 
     // Stashed pre-prepares waiting for request bodies.
     pub(crate) stashed_pps: Vec<(PrePrepare, Vec<Digest>)>,
@@ -182,7 +185,6 @@ impl Replica {
             last_gov_index: LedgerIdx(0),
             batch_exec: BTreeMap::new(),
             batch_marks: BTreeMap::new(),
-            batch_ledger_pos: BTreeMap::new(),
             receipt_cache: Default::default(),
             checkpoints,
             cp_digests,
@@ -193,6 +195,8 @@ impl Replica {
             retire_at: None,
             config_first_seq: vec![(SeqNum(0), genesis)],
             pending_new_view: None,
+            ledger_sync: None,
+            sync_report: Default::default(),
             stashed_pps: Vec::new(),
             tick: 0,
             last_progress_tick: 0,
@@ -307,6 +311,17 @@ impl Replica {
         if self.params.peer_review {
             self.peer_review_inbound(&from, &msg);
         }
+        // During a full recovery sync the replica is a state-transfer
+        // client, not a consensus participant: only page responses are
+        // processed (mixing live execution with replay would corrupt the
+        // partially-applied ledger). Everything missed is either replayed
+        // from later pages or recovered through the normal fetch paths
+        // once the sync completes.
+        if self.in_recovery_sync()
+            && !matches!(msg, ProtocolMsg::FetchLedgerPageResponse { .. })
+        {
+            return;
+        }
         match msg {
             ProtocolMsg::Request(req) => self.on_request(req),
             ProtocolMsg::PrePrepare { pp, batch } => {
@@ -346,8 +361,19 @@ impl Replica {
                     self.serve_ledger_fetch(sender, from_seq);
                 }
             }
-            ProtocolMsg::FetchLedgerResponse { entries } => {
-                self.handle_vc_ledger_response(entries);
+            ProtocolMsg::FetchLedgerResponse { .. } => {
+                // Legacy single-shot response: superseded by the paged
+                // protocol (nothing in-tree requests it anymore).
+            }
+            ProtocolMsg::FetchLedgerPage { from_seq, max_bytes } => {
+                if let NodeId::Replica(sender) = from {
+                    self.serve_ledger_page(sender, from_seq, max_bytes);
+                }
+            }
+            ProtocolMsg::FetchLedgerPageResponse { entries, next_seq, done } => {
+                if let NodeId::Replica(sender) = from {
+                    self.on_ledger_page(sender, entries, next_seq, done);
+                }
             }
             ProtocolMsg::FetchGovReceipts { from_index } => {
                 if let NodeId::Client(client) = from {
@@ -386,6 +412,14 @@ impl Replica {
 
     fn on_tick(&mut self) {
         self.tick += 1;
+        if self.ledger_sync.is_some() {
+            self.sync_tick();
+            if self.in_recovery_sync() {
+                // State transfer in progress: no proposing, no view
+                // changes — the sync's own timeout drives failover.
+                return;
+            }
+        }
         if self.is_primary() && self.ready {
             self.maybe_send_pre_prepare();
         }

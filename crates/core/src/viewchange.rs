@@ -194,7 +194,7 @@ impl Replica {
                 self.pending_new_view =
                     Some(PendingNewView { view: self.view, vcs, nv: None });
                 let from = self.committed_up_to.next();
-                self.send_replica(source, ProtocolMsg::FetchLedger { from_seq: from });
+                self.start_vc_ledger_sync(source, from);
             }
             return;
         }
@@ -302,14 +302,16 @@ impl Replica {
                     .and_then(|s| s.pp_digest)
                     == Some(*lp_digest);
                 if !have {
-                    // Behind: fetch from the new primary, stash the nv.
+                    // Behind: page the tail in from the new primary,
+                    // stash the nv (see `crate::bootstrap` for the
+                    // requester-side state machine).
                     self.pending_new_view = Some(PendingNewView {
                         view: nv.view,
                         vcs: view_changes,
                         nv: Some(nv),
                     });
                     let from = self.committed_up_to.next();
-                    self.send_replica(new_primary, ProtocolMsg::FetchLedger { from_seq: from });
+                    self.start_vc_ledger_sync(new_primary, from);
                     return;
                 }
                 SeqNum(lp_seq.0.saturating_sub(self.pipeline_depth()))
@@ -343,34 +345,11 @@ impl Replica {
         // new view and flow through the normal backup path.
     }
 
-    /// Apply a ledger fetch response while a new-view is pending.
-    pub(crate) fn handle_vc_ledger_response(&mut self, entries: Vec<Vec<u8>>) {
-        let Some(pending) = self.pending_new_view.clone() else {
-            return;
-        };
-        // Decode and ingest: admit request bodies so the re-proposals (or
-        // our own re-assembly) can execute them.
-        for bytes in &entries {
-            if let Ok(LedgerEntry::Tx(tx)) = LedgerEntry::from_bytes(bytes) {
-                let digest = tx.request.digest();
-                self.req_store.entry(digest).or_insert(tx.request);
-            }
-        }
-        // Retry assembly/acceptance now that bodies are present. A full
-        // state-transfer sync (replica far behind) is handled by the
-        // bootstrap path in the harness; here the common case is missing
-        // request bodies only.
-        self.pending_new_view = None;
-        if let Some(nv) = pending.nv {
-            self.on_new_view(nv, pending.vcs, Vec::new());
-        } else {
-            self.try_assemble_new_view();
-        }
-    }
-
     /// Roll back all batches with `seq > reset_to` (ledger, KV, counters),
-    /// returning requests to the pool.
-    fn reset_to_seq(&mut self, reset_to: SeqNum) {
+    /// returning requests to the pool. Also used by the recovery sync
+    /// when a mid-transfer view change makes the page stream diverge from
+    /// the applied-but-uncommitted tail (see [`crate::bootstrap`]).
+    pub(crate) fn reset_to_seq(&mut self, reset_to: SeqNum) {
         let first_rolled = reset_to.next();
         // Re-queue the rolled-back requests (primary will re-propose or
         // re-order them).
@@ -417,7 +396,6 @@ impl Replica {
         self.invalidate_receipt_caches_after(reset_to);
         self.batch_exec.retain(|s, _| *s <= reset_to);
         self.batch_marks.retain(|s, _| *s <= reset_to);
-        self.batch_ledger_pos.retain(|s, _| *s <= reset_to);
         self.prepared_view.retain(|s, _| *s <= reset_to);
         self.prepared_up_to = self.prepared_up_to.min(reset_to);
         self.committed_up_to = self.committed_up_to.min(reset_to);

@@ -25,6 +25,11 @@ pub struct Ledger {
     /// number re-proposed in a later view overwrites the earlier mapping —
     /// rollback rebuilds it.
     pp_by_seq: BTreeMap<SeqNum, usize>,
+    /// `(entry index, view)` of each new-view entry, ascending; lets a
+    /// paged sync decide whether a re-served view-change pair is already
+    /// applied (dedup must key on ledger *content*: a rollback can remove
+    /// the entries while the replica's view number stays advanced).
+    nv_entries: Vec<(u64, View)>,
 }
 
 impl Ledger {
@@ -35,6 +40,7 @@ impl Ledger {
             tree: MerkleTree::new(),
             m_leaf_entries: Vec::new(),
             pp_by_seq: BTreeMap::new(),
+            nv_entries: Vec::new(),
         };
         ledger.append(LedgerEntry::Genesis { config: genesis_config });
         ledger
@@ -47,6 +53,7 @@ impl Ledger {
             tree: MerkleTree::new(),
             m_leaf_entries: Vec::new(),
             pp_by_seq: BTreeMap::new(),
+            nv_entries: Vec::new(),
         }
     }
 
@@ -67,6 +74,9 @@ impl Ledger {
         }
         if let LedgerEntry::PrePrepare(pp) = &entry {
             self.pp_by_seq.insert(pp.seq(), idx as usize);
+        }
+        if let LedgerEntry::NewView(nv) = &entry {
+            self.nv_entries.push((idx, nv.view));
         }
         self.entries.push(entry);
         LedgerIdx(idx)
@@ -89,6 +99,9 @@ impl Ledger {
             }
             if let LedgerEntry::PrePrepare(pp) = entry {
                 self.pp_by_seq.insert(pp.seq(), idx as usize);
+            }
+            if let LedgerEntry::NewView(nv) = entry {
+                self.nv_entries.push((idx, nv.view));
             }
         }
         self.tree.extend(m_leaves);
@@ -156,6 +169,53 @@ impl Ledger {
         self.pp_by_seq.keys().next_back().copied()
     }
 
+    /// First entry position a ledger fetch from `from_seq` must serve: the
+    /// end of the segment of the last batch *before* `from_seq` (its
+    /// pre-prepare plus its trailing `⟨t, i, o⟩` run). Inter-batch entries
+    /// — view-change sets, new-views — belong to the *suffix*, so a
+    /// fetch resumed at any batch token never skips them. With no batch
+    /// before `from_seq` the whole post-genesis ledger is the suffix.
+    pub fn fetch_start_pos(&self, from_seq: SeqNum) -> u64 {
+        let Some((_, &pp_idx)) = self.pp_by_seq.range(..from_seq).next_back() else {
+            return 1.min(self.len());
+        };
+        let mut end = pp_idx + 1;
+        while matches!(self.entries.get(end), Some(LedgerEntry::Tx(_))) {
+            end += 1;
+        }
+        end as u64
+    }
+
+    /// Sequence numbers of batches at or after `from_seq`, in ledger
+    /// order (page-boundary candidates for a paged fetch), lazily — a
+    /// page server stops at its budget, not at the ledger tip, so the
+    /// remaining-batch list must never be materialized per request.
+    pub fn batch_seqs_iter(&self, from_seq: SeqNum) -> impl Iterator<Item = SeqNum> + '_ {
+        self.pp_by_seq.range(from_seq..).map(|(s, _)| *s)
+    }
+
+    /// [`Ledger::batch_seqs_iter`] collected (test/harness convenience).
+    pub fn batch_seqs_from(&self, from_seq: SeqNum) -> Vec<SeqNum> {
+        self.batch_seqs_iter(from_seq).collect()
+    }
+
+    /// Whether a new-view entry for `view` is present. Keyed on ledger
+    /// *content*, not the replica's view counter: a rollback can truncate
+    /// the entries away while the counter stays advanced, and a paged
+    /// sync must then re-apply the re-served pair.
+    pub fn has_new_view(&self, view: View) -> bool {
+        self.nv_entries.iter().any(|(_, v)| *v == view)
+    }
+
+    /// Exact framed size of entries `[from, to_exclusive)` as a fetch
+    /// response carries them: encoded bytes plus the `u32` length prefix
+    /// each — lets a page server budget a segment without encoding it.
+    pub fn encoded_range_len(&self, from: LedgerIdx, to_exclusive: LedgerIdx) -> u64 {
+        let lo = (from.0 as usize).min(self.entries.len());
+        let hi = (to_exclusive.0 as usize).min(self.entries.len());
+        self.entries[lo..hi].iter().map(|e| e.encoded_len() as u64 + 4).sum()
+    }
+
     /// Roll back to the first `new_len` entries (Lemma 1): truncates the
     /// entry list, the Merkle tree and the sequence index together.
     pub fn truncate_to(&mut self, new_len: u64) {
@@ -167,6 +227,7 @@ impl Ledger {
         self.tree.truncate(keep_leaves as u64);
         self.m_leaf_entries.truncate(keep_leaves);
         self.entries.truncate(new_len as usize);
+        self.nv_entries.retain(|(idx, _)| *idx < new_len);
         // Rebuild the seq index for dropped/overwritten pre-prepares.
         self.pp_by_seq.retain(|_, idx| (*idx as u64) < new_len);
         // A seq may have had an earlier pp (other view) that was overwritten
@@ -325,6 +386,107 @@ mod tests {
         // Rolling back the re-proposal restores the view-0 mapping.
         ledger.truncate_to(ledger.len() - 1);
         assert_eq!(ledger.pp_index_at(SeqNum(1)).unwrap(), idx_v0);
+    }
+
+    #[test]
+    fn fetch_start_pos_covers_inter_batch_entries() {
+        let (mut ledger, rk) = ledger4();
+        let gt = ledger.genesis_hash().unwrap();
+        let tx = move |i: u64| {
+            let kp = KeyPair::from_label("c");
+            LedgerEntry::Tx(ia_ccf_types::TxLedgerEntry {
+                request: ia_ccf_types::SignedRequest::sign(
+                    ia_ccf_types::Request {
+                        action: ia_ccf_types::RequestAction::App {
+                            proc: ia_ccf_types::ProcId(1),
+                            args: vec![],
+                        },
+                        client: ia_ccf_types::ClientId(1),
+                        gt_hash: gt,
+                        min_index: LedgerIdx(0),
+                        req_id: i,
+                    },
+                    &kp,
+                ),
+                index: LedgerIdx(i),
+                result: ia_ccf_types::TxResult {
+                    ok: true,
+                    output: vec![],
+                    write_set_digest: Digest::zero(),
+                },
+            })
+        };
+        // No batches at all: everything after genesis is the suffix.
+        assert_eq!(ledger.fetch_start_pos(SeqNum(1)), 1);
+        assert_eq!(ledger.fetch_start_pos(SeqNum(9)), 1);
+        // [genesis, pp1, tx, tx, vc-set, nv, pp2, tx]
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0]))); // 1
+        ledger.append(tx(1)); // 2
+        ledger.append(tx(2)); // 3
+        ledger.append(LedgerEntry::ViewChangeSet { view: ia_ccf_types::View(1), view_changes: vec![] }); // 4
+        ledger.append(LedgerEntry::NewView(ia_ccf_types::NewViewMsg {
+            view: ia_ccf_types::View(1),
+            root_m: ledger.root_m(),
+            vc_bitmap: ia_ccf_types::ReplicaBitmap::empty(),
+            vc_entry_hash: Digest::zero(),
+            sig: ia_ccf_types::Signature::zero(),
+        })); // 5
+        ledger.append(LedgerEntry::PrePrepare(test_pp(1, 2, &rk[1]))); // 6
+        ledger.append(tx(3)); // 7
+        // From seq 1: segment of "previous batch" does not exist → 1.
+        assert_eq!(ledger.fetch_start_pos(SeqNum(1)), 1);
+        // From seq 2: end of batch 1's segment (pp at 1 + two txs) = 4 —
+        // the view-change pair at 4/5 is part of the suffix, not skipped.
+        assert_eq!(ledger.fetch_start_pos(SeqNum(2)), 4);
+        // Past the tip: the trailing entries after batch 2's segment.
+        assert_eq!(ledger.fetch_start_pos(SeqNum(3)), 8);
+        assert_eq!(ledger.batch_seqs_from(SeqNum(1)), vec![SeqNum(1), SeqNum(2)]);
+        assert_eq!(ledger.batch_seqs_from(SeqNum(2)), vec![SeqNum(2)]);
+        assert!(ledger.batch_seqs_from(SeqNum(3)).is_empty());
+    }
+
+    #[test]
+    fn has_new_view_tracks_appends_and_truncation() {
+        let (mut ledger, rk) = ledger4();
+        assert!(!ledger.has_new_view(ia_ccf_types::View(1)));
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        let before_vc = ledger.len();
+        ledger.append(LedgerEntry::ViewChangeSet {
+            view: ia_ccf_types::View(1),
+            view_changes: vec![],
+        });
+        ledger.append(LedgerEntry::NewView(ia_ccf_types::NewViewMsg {
+            view: ia_ccf_types::View(1),
+            root_m: ledger.root_m(),
+            vc_bitmap: ia_ccf_types::ReplicaBitmap::empty(),
+            vc_entry_hash: Digest::zero(),
+            sig: ia_ccf_types::Signature::zero(),
+        }));
+        assert!(ledger.has_new_view(ia_ccf_types::View(1)));
+        assert!(!ledger.has_new_view(ia_ccf_types::View(2)));
+        // Rollback removes the pair: the index must say so (a paged sync
+        // keys its duplicate-skip on this — a stale `true` after
+        // truncation would make it skip re-applying the pair forever).
+        ledger.truncate_to(before_vc);
+        assert!(!ledger.has_new_view(ia_ccf_types::View(1)));
+    }
+
+    #[test]
+    fn encoded_range_len_matches_encode_range() {
+        let (mut ledger, rk) = ledger4();
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        ledger.append(LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] });
+        for lo in 0..=ledger.len() {
+            for hi in lo..=ledger.len() + 1 {
+                let encoded = ledger.encode_range(LedgerIdx(lo), LedgerIdx(hi));
+                let framed: u64 = encoded.iter().map(|e| e.len() as u64 + 4).sum();
+                assert_eq!(
+                    ledger.encoded_range_len(LedgerIdx(lo), LedgerIdx(hi)),
+                    framed,
+                    "size-only pass must agree with the encoded bytes ({lo}..{hi})"
+                );
+            }
+        }
     }
 
     #[test]

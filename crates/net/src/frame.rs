@@ -21,6 +21,14 @@ use crate::bus::BusEndpoint;
 
 /// Maximum accepted payload size (64 MiB) — guards against corrupt or
 /// hostile prefixes.
+///
+/// Protocol layers are expected to keep every constructible message
+/// under this limit: bulk transfers use the paged `FetchLedgerPage`
+/// protocol, whose server-side budget clamp
+/// (`ia_ccf_types::messages::PAGE_CEILING_BYTES`, 56 MiB) leaves 8 MiB
+/// of headroom for the one-segment progress-guarantee overshoot. The
+/// encoder asserts below as a last-resort backstop for protocol bugs,
+/// not as a path any in-tree message can reach.
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
 /// Size of the frame header (the `u32` length prefix).

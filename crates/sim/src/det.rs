@@ -86,6 +86,21 @@ impl DetCluster {
         self.replicas.insert(replica.id(), ByzantineReplica::new(replica, Fault::None));
     }
 
+    /// Revive a crashed slot with `replica` (typically a fresh instance
+    /// with the same identity) and start a paged state transfer from
+    /// `server`: the replica requests `FetchLedgerPage`s, replays them
+    /// incrementally and rejoins the protocol once its
+    /// [`ia_ccf_core::SyncReport`] reports completion. Drive the cluster
+    /// with [`DetCluster::round`] until then.
+    pub fn recover(&mut self, replica: Replica, server: ReplicaId) {
+        let id = replica.id();
+        self.crashed.remove(&id);
+        let mut wrapped = ByzantineReplica::new(replica, Fault::None);
+        let outs = wrapped.inner.begin_ledger_sync(server);
+        self.replicas.insert(id, wrapped);
+        self.route_outputs(id, outs);
+    }
+
     /// Submit a request from `client`.
     pub fn submit(&mut self, client: ClientId, proc: ia_ccf_types::ProcId, args: Vec<u8>) -> u64 {
         let req_id = self.clients.get_mut(&client).expect("client exists").submit(proc, args);

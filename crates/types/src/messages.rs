@@ -17,6 +17,18 @@ use crate::request::SignedRequest;
 use crate::wire::{decode_seq, encode_seq, encoded_len_seq, CodecError, Reader, Wire};
 use ia_ccf_merkle::MerklePath;
 
+/// Server-side hard ceiling on the page budget of a
+/// [`ProtocolMsg::FetchLedgerPage`] response, in encoded-entry bytes.
+///
+/// Deliberately well under the transport frame limit (`frame::MAX_FRAME`,
+/// 64 MiB): a page may overshoot its budget by at most one batch segment
+/// (the protocol always makes progress by including at least one whole
+/// batch), so the 8 MiB headroom keeps every constructible page response
+/// framable. A single batch segment larger than the headroom plus ceiling
+/// is unservable at sequence-number granularity and still fails loudly in
+/// the frame encoder.
+pub const PAGE_CEILING_BYTES: u32 = 56 * 1024 * 1024;
+
 /// Domain tags for replica signatures.
 pub mod domains {
     /// Pre-prepare messages.
@@ -375,6 +387,33 @@ pub enum ProtocolMsg {
     FetchLedgerResponse {
         /// Wire-encoded `LedgerEntry` values in ledger order.
         entries: Vec<Vec<u8>>,
+    },
+    /// Ask a peer for one bounded page of its ledger suffix (resumable
+    /// state transfer). The continuation token is a sequence number: the
+    /// server replies with whole batch segments from `from_seq` on, cut
+    /// at a batch boundary once the page budget is spent, and names the
+    /// first unserved batch in `next_seq`. A recovering replica repeats
+    /// the request with the returned `next_seq` until `done`.
+    FetchLedgerPage {
+        /// Continuation token: first batch sequence number wanted.
+        from_seq: SeqNum,
+        /// Requester's page budget in encoded-entry bytes. The server
+        /// clamps it to [`PAGE_CEILING_BYTES`], so a page (plus at most
+        /// one over-budget batch segment) always frames well under the
+        /// transport's 64 MiB limit.
+        max_bytes: u64,
+    },
+    /// One page answering a [`ProtocolMsg::FetchLedgerPage`].
+    FetchLedgerPageResponse {
+        /// Wire-encoded `LedgerEntry` values in ledger order.
+        entries: Vec<Vec<u8>>,
+        /// Continuation token for the next request: the first batch
+        /// sequence number *not* contained in `entries`. Must advance
+        /// strictly past the requested `from_seq` unless `done`.
+        next_seq: SeqNum,
+        /// Whether `entries` reaches the server's ledger tip. When set,
+        /// `next_seq` is the server's next-to-assign sequence number.
+        done: bool,
     },
     /// Client asks for governance receipts from an index (§5.2).
     FetchGovReceipts {
@@ -770,6 +809,20 @@ impl Wire for ProtocolMsg {
                 replica.encode(buf);
                 sig.encode(buf);
             }
+            ProtocolMsg::FetchLedgerPage { from_seq, max_bytes } => {
+                buf.push(18);
+                from_seq.encode(buf);
+                max_bytes.encode(buf);
+            }
+            ProtocolMsg::FetchLedgerPageResponse { entries, next_seq, done } => {
+                buf.push(19);
+                (entries.len() as u32).encode(buf);
+                for e in entries {
+                    e.encode(buf);
+                }
+                next_seq.encode(buf);
+                done.encode(buf);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -817,6 +870,22 @@ impl Wire for ProtocolMsg {
                 prepares: decode_seq(r)?,
                 commits: decode_seq(r)?,
             }),
+            18 => Ok(ProtocolMsg::FetchLedgerPage {
+                from_seq: SeqNum::decode(r)?,
+                max_bytes: u64::decode(r)?,
+            }),
+            19 => {
+                let n = u32::decode(r)?;
+                let mut entries = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    entries.push(Vec::<u8>::decode(r)?);
+                }
+                Ok(ProtocolMsg::FetchLedgerPageResponse {
+                    entries,
+                    next_seq: SeqNum::decode(r)?,
+                    done: bool::decode(r)?,
+                })
+            }
             tag => Err(CodecError::BadTag { context: "ProtocolMsg", tag }),
         }
     }
@@ -855,6 +924,14 @@ impl Wire for ProtocolMsg {
             }
             ProtocolMsg::SignedAck { msg_digest, replica, sig } => {
                 msg_digest.encoded_len() + replica.encoded_len() + sig.encoded_len()
+            }
+            ProtocolMsg::FetchLedgerPage { from_seq, max_bytes } => {
+                from_seq.encoded_len() + max_bytes.encoded_len()
+            }
+            ProtocolMsg::FetchLedgerPageResponse { entries, next_seq, done } => {
+                4 + entries.iter().map(Wire::encoded_len).sum::<usize>()
+                    + next_seq.encoded_len()
+                    + done.encoded_len()
             }
         }
     }
@@ -980,10 +1057,61 @@ mod tests {
             ProtocolMsg::FetchLedger { from_seq: SeqNum(10) },
             ProtocolMsg::FetchLedgerResponse { entries: vec![vec![1, 2, 3], vec![]] },
             ProtocolMsg::FetchGovReceipts { from_index: LedgerIdx(4) },
+            ProtocolMsg::FetchLedgerPage { from_seq: SeqNum(7), max_bytes: 1 << 20 },
+            ProtocolMsg::FetchLedgerPageResponse {
+                entries: vec![vec![9, 9], vec![], vec![1]],
+                next_seq: SeqNum(12),
+                done: false,
+            },
+            ProtocolMsg::FetchLedgerPageResponse {
+                entries: Vec::new(),
+                next_seq: SeqNum(0),
+                done: true,
+            },
         ];
         for m in msgs {
             assert_eq!(ProtocolMsg::from_bytes(&m.to_bytes()).unwrap(), m);
         }
+    }
+
+    /// Wire-stability pin for the paged state-transfer messages: the tag
+    /// bytes and field layout are load-bearing for mixed-version clusters,
+    /// so the exact encodings are pinned, not just the roundtrip.
+    #[test]
+    fn fetch_ledger_page_encoding_pin() {
+        let req = ProtocolMsg::FetchLedgerPage { from_seq: SeqNum(3), max_bytes: 0x0102 };
+        let bytes = req.to_bytes();
+        assert_eq!(bytes[0], 18, "FetchLedgerPage tag");
+        assert_eq!(
+            bytes[1..],
+            [3, 0, 0, 0, 0, 0, 0, 0, 0x02, 0x01, 0, 0, 0, 0, 0, 0],
+            "from_seq then max_bytes, little-endian"
+        );
+        assert_eq!(bytes.len(), req.encoded_len());
+
+        let resp = ProtocolMsg::FetchLedgerPageResponse {
+            entries: vec![vec![0xAA]],
+            next_seq: SeqNum(4),
+            done: true,
+        };
+        let bytes = resp.to_bytes();
+        assert_eq!(bytes[0], 19, "FetchLedgerPageResponse tag");
+        assert_eq!(
+            bytes[1..],
+            [
+                1, 0, 0, 0, // entry count
+                1, 0, 0, 0, 0xAA, // one 1-byte entry
+                4, 0, 0, 0, 0, 0, 0, 0, // next_seq
+                1, // done
+            ],
+            "entries, next_seq, done"
+        );
+        assert_eq!(bytes.len(), resp.encoded_len());
+        // A done flag outside {0, 1} is a decode error, never a panic —
+        // hostile peers cannot smuggle an ambiguous continuation state.
+        let mut hostile = resp.to_bytes();
+        *hostile.last_mut().unwrap() = 2;
+        assert!(ProtocolMsg::from_bytes(&hostile).is_err());
     }
 
     #[test]

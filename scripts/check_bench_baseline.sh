@@ -56,4 +56,10 @@ compare refetch \
     "$(extract "$baseline_file" quick_ref_refetch_ops_per_sec || true)" \
     "$(extract "$quick_file" refetch_ops_per_sec || true)"
 
+# Recovery path (`--mode sync` workload; paged FetchLedger state
+# transfer). Bytes/s to full recovery, quick configuration.
+compare sync \
+    "$(extract "$baseline_file" quick_ref_sync_bytes_per_sec || true)" \
+    "$(extract "$quick_file" sync_bytes_per_sec || true)"
+
 exit 0

@@ -412,6 +412,180 @@ fn freeze_one_batch_at(cluster: &mut DetCluster, client: ia_ccf_types::ClientId,
 }
 
 #[test]
+fn view_change_mid_ledger_sync_does_not_corrupt_partial_state() {
+    // Paged state transfer interrupted by a view change (and new
+    // commits): a recovering replica has applied a *prefix* of the
+    // server's ledger — including an executed-but-uncommitted batch —
+    // when a view change rolls that batch back cluster-side and
+    // re-proposes it in the new view. The requester must notice that the
+    // server's stream no longer extends its applied tail, roll its own
+    // uncommitted tail back (Lemma 1), resume from the committed
+    // frontier, and finish with a ledger byte-identical to the
+    // cluster's — partially-applied state is never left corrupt.
+    let params = ProtocolParams {
+        view_timeout_ticks: 15,
+        // One batch segment per page: the interruption lands between
+        // pages, not inside one.
+        sync_page_bytes: 1,
+        ..ProtocolParams::default()
+    };
+    let spec = ClusterSpec::new(4, 1, params.clone());
+    let mut cluster = DetCluster::new(&spec, Arc::new(CounterApp));
+    let client = spec.clients[0].0;
+
+    // A committed prefix, then *two* frozen (executed + prepared, never
+    // committed) batches at seqs 3 and 4 — the interruption must land
+    // after the first frozen batch crossed the wire but before the
+    // stream ends, so the transfer is genuinely mid-flight.
+    for _ in 0..2 {
+        cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+        cluster.round();
+    }
+    assert!(cluster.run_until(100, |c| c.min_committed() >= SeqNum(2)));
+    for r in 0..4 {
+        cluster.set_fault(ReplicaId(r), Fault::DropCommits);
+    }
+    for _ in 0..2 {
+        cluster.submit(client, CounterApp::INCR, b"k".to_vec());
+        for _ in 0..5 {
+            cluster.round();
+        }
+    }
+    for r in 0..4 {
+        let replica = cluster.replica(ReplicaId(r));
+        assert_eq!(replica.prepared_up_to(), SeqNum(4), "replica {r} must prepare both");
+        assert_eq!(replica.committed_up_to(), SeqNum(2), "replica {r} must commit neither");
+    }
+
+    // The recovering replica is a second instance of replica 3's
+    // identity held *outside* the cluster and pumped by hand, so the
+    // transfer can be interrupted at an exact page boundary (inside the
+    // simulator a sync resolves within one round).
+    let mut fresh = spec.build_replica(3, Arc::new(CounterApp));
+    let server = ReplicaId(1);
+    let mut requests: Vec<ia_ccf_types::ProtocolMsg> = fresh
+        .begin_ledger_sync(server)
+        .into_iter()
+        .filter_map(|o| match o {
+            ia_ccf::core::Output::SendReplica(to, msg) if to == server => Some(msg),
+            _ => None,
+        })
+        .collect();
+
+    // Pump exactly three pages (batches 1–3): the first frozen batch has
+    // crossed the wire in its view-0 form — applied or held in the
+    // requester's segment buffer — and the `done` page for batch 4 is
+    // never delivered: the transfer stops mid-flight.
+    for _ in 0..3 {
+        let msg = requests.pop().expect("page request in flight");
+        let outs = cluster
+            .replicas
+            .get_mut(&server)
+            .expect("server")
+            .inner
+            .handle(ia_ccf::core::Input::Message {
+                from: ia_ccf::core::NodeId::Replica(fresh.id()),
+                msg,
+            });
+        for out in outs {
+            if let ia_ccf::core::Output::SendReplica(to, msg) = out {
+                if to != fresh.id() {
+                    continue;
+                }
+                let outs = fresh.handle(ia_ccf::core::Input::Message {
+                    from: ia_ccf::core::NodeId::Replica(server),
+                    msg,
+                });
+                requests.extend(outs.into_iter().filter_map(|o| match o {
+                    ia_ccf::core::Output::SendReplica(to, msg) if to == server => Some(msg),
+                    _ => None,
+                }));
+            }
+        }
+    }
+    assert!(!fresh.sync_report().complete, "transfer must still be mid-flight");
+    assert!(fresh.sync_report().pages >= 3, "three pages delivered");
+    // Batches 1 and 2 are applied; the view-0 frozen batch 3 crossed the
+    // wire and sits withheld in the segment buffer (its transaction run
+    // could still grow), to be applied — and then found divergent — when
+    // the stream resumes.
+    assert_eq!(fresh.prepared_up_to(), SeqNum(2), "committed prefix applied");
+
+    // Mid-transfer interruption: view change rolls the frozen batch back
+    // cluster-side, re-proposes it in view ≥ 1, and new commits land.
+    cluster.crash(ReplicaId(0));
+    for r in 1..4 {
+        cluster.set_fault(ReplicaId(r), Fault::None);
+    }
+    assert!(
+        cluster.run_until(400, |c| c.min_committed() >= SeqNum(4)),
+        "frozen batches must recommit in the new view"
+    );
+    for _ in 0..2 {
+        cluster.submit(client, CounterApp::INCR, b"post-vc".to_vec());
+        cluster.round();
+    }
+    assert!(cluster.run_until(400, |c| c.min_committed() >= SeqNum(6)));
+
+    // Resume the transfer: the very next page diverges from the applied
+    // view-0 tail; the requester rolls back to its committed frontier
+    // and replays the view change + re-proposed batches to completion.
+    let mut hops = 0;
+    while !fresh.sync_report().complete {
+        hops += 1;
+        assert!(hops < 100, "resumed sync did not converge: {:?}", fresh.sync_report());
+        let msg = requests.pop().expect("page request in flight");
+        let outs = cluster
+            .replicas
+            .get_mut(&server)
+            .expect("server")
+            .inner
+            .handle(ia_ccf::core::Input::Message {
+                from: ia_ccf::core::NodeId::Replica(fresh.id()),
+                msg,
+            });
+        for out in outs {
+            if let ia_ccf::core::Output::SendReplica(to, msg) = out {
+                if to != fresh.id() {
+                    continue;
+                }
+                let outs = fresh.handle(ia_ccf::core::Input::Message {
+                    from: ia_ccf::core::NodeId::Replica(server),
+                    msg,
+                });
+                requests.extend(outs.into_iter().filter_map(|o| match o {
+                    ia_ccf::core::Output::SendReplica(to, msg) if to == server => Some(msg),
+                    _ => None,
+                }));
+            }
+        }
+    }
+    let report = fresh.sync_report();
+    assert!(
+        report.tail_rollbacks >= 1,
+        "divergence must be healed by a tail rollback, not ignored: {report:?}"
+    );
+    assert_eq!(report.failovers, 0, "an honest server must not be abandoned: {report:?}");
+
+    // The recovered ledger is byte-identical to the cluster's — view
+    // change entries, re-proposed batches, post-view-change commits and
+    // all — and re-execution reproduced the KV state.
+    let survivor = cluster.replica(server);
+    assert_eq!(fresh.ledger().len(), survivor.ledger().len());
+    for i in 0..survivor.ledger().len() {
+        use ia_ccf_types::{LedgerIdx, Wire};
+        assert_eq!(
+            fresh.ledger().entry(LedgerIdx(i)).map(Wire::to_bytes),
+            survivor.ledger().entry(LedgerIdx(i)).map(Wire::to_bytes),
+            "ledger divergence at entry {i}"
+        );
+    }
+    assert_eq!(fresh.kv().digest(), survivor.kv().digest());
+    assert!(fresh.view().0 >= 1, "the replayed view change must advance the view");
+    cluster.assert_ledgers_consistent();
+}
+
+#[test]
 fn post_rollback_ledger_audits_clean() {
     // Same rollback scenario, then more traffic; a survivor's ledger —
     // which contains the view change and the re-executed batch — must

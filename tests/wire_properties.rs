@@ -220,6 +220,12 @@ proptest! {
             ProtocolMsg::FetchRequestsResponse { requests: vec![req.clone()] },
             ProtocolMsg::FetchLedger { from_seq: core.seq },
             ProtocolMsg::FetchLedgerResponse { entries: vec![output.clone(), Vec::new()] },
+            ProtocolMsg::FetchLedgerPage { from_seq: core.seq, max_bytes: 1 << 20 },
+            ProtocolMsg::FetchLedgerPageResponse {
+                entries: vec![output.clone(), Vec::new()],
+                next_seq: core.seq,
+                done: ok,
+            },
             ProtocolMsg::FetchGovReceipts { from_index: core.gov_index },
             ProtocolMsg::FetchReceipt { tx_hash: root_g },
             ProtocolMsg::FetchEvidence { seq: core.seq },
@@ -394,6 +400,80 @@ proptest! {
         }
     }
 
+    /// Hostile input for the paged state-transfer messages: every decoded
+    /// page must be internally consistent or rejected — flipped `done`
+    /// bytes, backwards continuation tokens, forged entry counts and
+    /// oversized entry length prefixes can corrupt a transfer's *content*
+    /// only in ways the requester-side checks see, never crash the
+    /// decoder or cause a hostile allocation.
+    #[test]
+    fn fetch_ledger_page_variants_survive_hostility(
+        entries in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48), 0..5),
+        from in any::<u64>(),
+        next in any::<u64>(),
+        done_byte in any::<u8>(),
+        forged_count in any::<u32>(),
+        flip_pos in any::<usize>(),
+        flip_mask in 1u8..=255,
+    ) {
+        // Roundtrip holds for any payload, including empty entry lists
+        // and a `next_seq` *behind* `from_seq` — the wire layer carries
+        // them faithfully; rejecting non-progressing tokens is the
+        // requester state machine's job (tests/paged_fetch_equiv.rs).
+        let req = ProtocolMsg::FetchLedgerPage { from_seq: SeqNum(from), max_bytes: next };
+        prop_assert_eq!(ProtocolMsg::from_bytes(&req.to_bytes()).unwrap(), req);
+        let resp = ProtocolMsg::FetchLedgerPageResponse {
+            entries: entries.clone(),
+            next_seq: SeqNum(next),
+            done: done_byte % 2 == 0,
+        };
+        let bytes = resp.to_bytes();
+        prop_assert_eq!(ProtocolMsg::from_bytes(&bytes).unwrap(), resp);
+        prop_assert_eq!(bytes.len(), ProtocolMsg::FetchLedgerPageResponse {
+            entries: entries.clone(),
+            next_seq: SeqNum(next),
+            done: done_byte % 2 == 0,
+        }.encoded_len());
+
+        // Flipped done flag: the trailing byte is the `done` bool; any
+        // value outside {0, 1} must be a decode error, never a panic or
+        // a silently-ambiguous continuation state.
+        let mut flipped = bytes.clone();
+        *flipped.last_mut().unwrap() = done_byte;
+        match ProtocolMsg::from_bytes(&flipped) {
+            Ok(ProtocolMsg::FetchLedgerPageResponse { done, .. }) => {
+                prop_assert!(done_byte <= 1 && done == (done_byte == 1));
+            }
+            Ok(other) => prop_assert!(false, "decoded into {other:?}"),
+            Err(_) => prop_assert!(done_byte > 1),
+        }
+
+        // Forged entry count: overwrite the count prefix with an
+        // arbitrary u32. Decoding must error (the claimed entries are
+        // not there) or produce a consistent message — and must never
+        // allocate for the forged count up front.
+        let mut forged = bytes.clone();
+        forged[1..5].copy_from_slice(&forged_count.to_le_bytes());
+        if let Ok(decoded) = ProtocolMsg::from_bytes(&forged) {
+            prop_assert_eq!(ProtocolMsg::from_bytes(&decoded.to_bytes()).unwrap(), decoded);
+        }
+
+        // An oversized length prefix on the first entry (when present):
+        // error, not a multi-gigabyte allocation.
+        if !entries.is_empty() {
+            let mut oversized = bytes.clone();
+            oversized[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+            prop_assert!(ProtocolMsg::from_bytes(&oversized).is_err());
+        }
+
+        // Arbitrary single-byte corruption anywhere: no panics.
+        let mut corrupt = bytes;
+        let pos = flip_pos % corrupt.len();
+        corrupt[pos] ^= flip_mask;
+        let _ = ProtocolMsg::from_bytes(&corrupt);
+    }
+
     /// Hostile input per variant: byte-level corruption of *valid*
     /// encodings of every constructible variant must never panic, and a
     /// successful decode of a corrupted buffer must still be internally
@@ -444,6 +524,12 @@ proptest! {
             ProtocolMsg::FetchReceipt { tx_hash: root_g },
             ProtocolMsg::FetchEvidence { seq: core.seq },
             ProtocolMsg::FetchEvidenceResponse { prepares: Vec::new(), commits: Vec::new() },
+            ProtocolMsg::FetchLedgerPage { from_seq: core.seq, max_bytes: flip_pos },
+            ProtocolMsg::FetchLedgerPageResponse {
+                entries: vec![vec![1, 2, 3], Vec::new()],
+                next_seq: core.seq,
+                done: true,
+            },
         ];
         for msg in msgs {
             let mut bytes = msg.to_bytes();
