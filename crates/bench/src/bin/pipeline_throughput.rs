@@ -25,12 +25,24 @@
 //! pages/s and bytes/s to full recovery — the workload the resumable
 //! transfer protocol exists for.
 //!
+//! A fifth mode measures the *transport*: **c10k** stands up a real
+//! 4-replica cluster over localhost TCP (the event-driven `ia_ccf_net::tcp`
+//! runtime), floods it with thousands of concurrent framed load
+//! connections from a single driver thread, and — while the storm runs —
+//! drives a real protocol client to committed receipts. It reports the
+//! concurrent connection count the cluster actually held, the framed
+//! messages/s it absorbed, and the process thread count and RSS (the
+//! O(nodes)-threads claim of the readiness-driven event loop, versus the
+//! thread-per-connection transport it replaced).
+//!
 //! Knobs:
 //!
-//! * `--mode=all|refetch|sync` / `IACCF_MODE` — `refetch` runs only the
-//!   receipt-serving workload and writes
+//! * `--mode=all|refetch|sync|c10k` / `IACCF_MODE` — `refetch` runs only
+//!   the receipt-serving workload and writes
 //!   `target/experiments/pipeline_refetch.json`; `sync` runs only the
 //!   recovery workload and writes `target/experiments/pipeline_sync.json`;
+//!   `c10k` runs only the transport workload and writes
+//!   `target/experiments/pipeline_c10k.json`;
 //!   `all` (default) runs everything and writes the committed
 //!   `BENCH_pipeline.json`;
 //! * `--skew=N` / `IACCF_SKEW` — contended-mode skew percent (default 90);
@@ -45,14 +57,20 @@
 //!   (`scripts/check_bench_baseline.sh`, warn-only);
 //! * `IACCF_ACCOUNTS` — SmallBank account count (default 10 000).
 
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bench::accounts;
-use ia_ccf_core::{Input, NodeId, ProtocolParams};
+use ia_ccf_client::{Client, ClientSend};
+use ia_ccf_core::app::CounterApp;
+use ia_ccf_core::{Input, NodeId, Output, ProtocolParams};
+use ia_ccf_net::{frame, TcpNode};
 use ia_ccf_sim::metrics::Histogram;
 use ia_ccf_sim::{ClusterSpec, DetCluster};
-use ia_ccf_types::{ProtocolMsg, ReplicaId};
+use ia_ccf_types::{ClientId, ProtocolMsg, ReplicaId, Wire};
 
 struct BenchConfig {
     batches: usize,
@@ -63,6 +81,7 @@ struct BenchConfig {
     quick: bool,
     refetch_only: bool,
     sync_only: bool,
+    c10k_only: bool,
 }
 
 fn knob(cli: &str, env: &str) -> Option<u64> {
@@ -82,6 +101,7 @@ fn config() -> BenchConfig {
     let mode = knob_str("mode", "IACCF_MODE");
     let refetch_only = matches!(mode.as_deref(), Some("refetch"));
     let sync_only = matches!(mode.as_deref(), Some("sync"));
+    let c10k_only = matches!(mode.as_deref(), Some("c10k"));
     if quick {
         BenchConfig {
             batches: 5,
@@ -92,6 +112,7 @@ fn config() -> BenchConfig {
             quick,
             refetch_only,
             sync_only,
+            c10k_only,
         }
     } else {
         BenchConfig {
@@ -103,6 +124,7 @@ fn config() -> BenchConfig {
             quick,
             refetch_only,
             sync_only,
+            c10k_only,
         }
     }
 }
@@ -346,8 +368,342 @@ fn run_sync_quick() -> SyncResult {
     run_sync(batches, batch_size, accounts)
 }
 
+/// Result of one transport (c10k) run.
+struct C10kResult {
+    /// Concurrent framed load connections the cluster actually held
+    /// (counted server-side from the peer registries).
+    connections: usize,
+    /// Load frames absorbed per second across the cluster during the
+    /// measured window.
+    frames_s: f64,
+    /// Process thread count during the storm — the O(nodes) claim.
+    threads: u64,
+    /// Process resident set at the end of the window, MiB.
+    rss_mb: f64,
+    /// Protocol transactions committed to receipts while the storm ran.
+    commits: usize,
+}
+
+/// The quick-mode c10k workload — (load connections, window seconds).
+/// Shared by the CI smoke run, the `--mode=c10k` quick run and the full
+/// run's committed `quick_ref_c10k_frames_per_sec` reference.
+const QUICK_C10K: (usize, u64) = (300, 2);
+
+/// Load-client peer addresses start here; replica threads count frames
+/// from these peers as transport load instead of decoding them.
+const C10K_LOAD_BASE: u64 = 10_000;
+
+fn proc_self_status(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The transport workload (`--mode=c10k`, also folded into the full run):
+/// a real 4-replica CounterApp cluster over localhost TCP, a single
+/// driver thread holding `load_conns` framed connections (round-robin
+/// non-blocking writes, so slow/throttled sockets are skipped, not
+/// waited on), and a real protocol client committing transactions while
+/// the storm runs. `min_conns` is the acceptance floor on the
+/// server-side concurrent connection count (0 = no floor).
+fn run_c10k(load_conns: usize, window_secs: u64, min_conns: usize) -> C10kResult {
+    let n = 4usize;
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_load = Arc::new(AtomicBool::new(false));
+    let load_frames = Arc::new(AtomicU64::new(0));
+    let dial_done = Arc::new(AtomicBool::new(false));
+
+    let nodes: Vec<Arc<TcpNode>> =
+        (0..n as u64).map(|a| TcpNode::listen(a, "127.0.0.1:0").expect("bind")).collect();
+    let client_node = TcpNode::listen(1_000, "127.0.0.1:0").expect("bind");
+    for i in 0..n {
+        for j in (i + 1)..n {
+            nodes[i].connect(&nodes[j].local_addr()).expect("connect");
+        }
+        client_node.connect(&nodes[i].local_addr()).expect("connect");
+    }
+    let mesh_up = |node: &TcpNode, want: usize| {
+        let t0 = Instant::now();
+        while node.connected_peers().len() < want {
+            assert!(t0.elapsed() < Duration::from_secs(10), "mesh did not settle");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+    for node in &nodes {
+        mesh_up(node, n); // n-1 replicas + the client
+    }
+    mesh_up(&client_node, n);
+
+    // Replica threads: protocol frames are decoded and handled as in the
+    // tcp_cluster example; frames from load peers are counted as
+    // transport throughput and dropped.
+    let mut handles = Vec::new();
+    for (rank, node) in nodes.iter().enumerate().take(n) {
+        let mut replica = spec.build_replica(rank, Arc::new(CounterApp));
+        let node = Arc::clone(node);
+        let stop = Arc::clone(&stop);
+        let load_frames = Arc::clone(&load_frames);
+        handles.push(std::thread::spawn(move || {
+            let mut last_tick = Instant::now();
+            let mut scratch = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let input = match node.inbound.recv_timeout(Duration::from_millis(1)) {
+                    Ok((peer, _frame)) if peer >= C10K_LOAD_BASE => {
+                        load_frames.fetch_add(1, Ordering::Relaxed);
+                        if last_tick.elapsed() < Duration::from_millis(1) {
+                            continue;
+                        }
+                        Input::Tick
+                    }
+                    Ok((peer, frame)) => match ProtocolMsg::from_bytes(&frame) {
+                        Ok(msg) => {
+                            let from = if peer < 1_000 {
+                                NodeId::Replica(ReplicaId(peer as u32))
+                            } else {
+                                NodeId::Client(ClientId(peer))
+                            };
+                            Input::Message { from, msg }
+                        }
+                        Err(_) => continue,
+                    },
+                    Err(_) => Input::Tick,
+                };
+                let mut inputs = vec![input];
+                if last_tick.elapsed() >= Duration::from_millis(1) {
+                    inputs.push(Input::Tick);
+                    last_tick = Instant::now();
+                }
+                for input in inputs {
+                    for out in replica.handle(input) {
+                        match out {
+                            Output::SendReplica(to, msg) => {
+                                node.send(to.0 as u64, msg.encode_scratch(&mut scratch));
+                            }
+                            Output::BroadcastReplicas(msg) => {
+                                let bytes = msg.encode_scratch(&mut scratch);
+                                for peer in node.connected_peers() {
+                                    if peer < 1_000 {
+                                        node.send(peer, bytes);
+                                    }
+                                }
+                            }
+                            Output::SendClient(to, msg) => {
+                                node.send(to.0, msg.encode_scratch(&mut scratch));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            node.shutdown();
+        }));
+    }
+
+    // The load driver: one thread, `load_conns` sockets. Blocking
+    // connect + hello, then non-blocking round-robin frame writes with a
+    // per-socket offset so partial writes never tear a frame.
+    let addrs: Vec<_> = nodes.iter().map(|node| node.local_addr()).collect();
+    let driver = {
+        let stop_load = Arc::clone(&stop_load);
+        let dial_done = Arc::clone(&dial_done);
+        std::thread::spawn(move || {
+            struct LoadConn {
+                stream: TcpStream,
+                off: usize,
+                dead: bool,
+            }
+            let mut wire = Vec::new();
+            frame::encode(&[0x5A_u8; 64], &mut wire);
+            let mut conns = Vec::with_capacity(load_conns);
+            for i in 0..load_conns {
+                let Ok(stream) = TcpStream::connect(addrs[i % addrs.len()]) else { continue };
+                let _ = stream.set_nodelay(true);
+                let mut stream = stream;
+                if stream.write_all(&(C10K_LOAD_BASE + i as u64).to_le_bytes()).is_err() {
+                    continue;
+                }
+                stream.set_nonblocking(true).expect("nonblocking");
+                conns.push(LoadConn { stream, off: 0, dead: false });
+                // Pace the dial storm a little so accept queues keep up.
+                if i % 64 == 63 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            dial_done.store(true, Ordering::SeqCst);
+            while !stop_load.load(Ordering::Relaxed) {
+                let mut progressed = false;
+                for c in conns.iter_mut() {
+                    if c.dead {
+                        continue;
+                    }
+                    match c.stream.write(&wire[c.off..]) {
+                        Ok(0) => c.dead = true,
+                        Ok(k) => {
+                            c.off += k;
+                            if c.off == wire.len() {
+                                c.off = 0;
+                            }
+                            progressed = true;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        Err(_) => c.dead = true,
+                    }
+                }
+                if !progressed {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            conns.len()
+        })
+    };
+
+    // Wait for the dial phase, then for the server-side registries to
+    // absorb the handshakes, and record the concurrent connection count
+    // the cluster actually holds.
+    while !dial_done.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let count_load_peers = |nodes: &[Arc<TcpNode>]| -> usize {
+        nodes
+            .iter()
+            .map(|node| {
+                node.connected_peers().iter().filter(|&&p| p >= C10K_LOAD_BASE).count()
+            })
+            .sum()
+    };
+    let mut connections = count_load_peers(&nodes);
+    let settle0 = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let now = count_load_peers(&nodes);
+        if now == connections || settle0.elapsed() > Duration::from_secs(20) {
+            connections = now;
+            break;
+        }
+        connections = now;
+    }
+
+    // Measured window: the storm runs while a real client drives
+    // protocol transactions through the same cluster.
+    let (client_id, client_kp) = spec.clients[0].clone();
+    let gt_hash =
+        ia_ccf_ledger::Ledger::new(spec.genesis.clone()).genesis_hash().expect("genesis");
+    let mut client = Client::new(client_id, client_kp, gt_hash, spec.genesis.clone());
+    let mut scratch = Vec::new();
+    let window = Duration::from_secs(window_secs);
+    let frames0 = load_frames.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let mut commits = 0usize;
+    let mut submitted = 0usize;
+    let drive_client = |client: &mut Client,
+                            commits: &mut usize,
+                            submitted: &mut usize,
+                            scratch: &mut Vec<u8>| {
+        if *submitted == *commits {
+            client.submit(CounterApp::INCR, b"c10k-counter".to_vec());
+            *submitted += 1;
+        }
+        for send in client.poll_send() {
+            match send {
+                ClientSend::To(r, msg) => {
+                    client_node.send(r.0 as u64, msg.encode_scratch(scratch));
+                }
+                ClientSend::Broadcast(msg) => {
+                    let bytes = msg.encode_scratch(scratch);
+                    for peer in client_node.connected_peers() {
+                        client_node.send(peer, bytes);
+                    }
+                }
+            }
+        }
+        if let Ok((peer, frame)) = client_node.inbound.recv_timeout(Duration::from_millis(2))
+        {
+            if let Ok(msg) = ProtocolMsg::from_bytes(&frame) {
+                client.on_message(ReplicaId(peer as u32), msg);
+            }
+        }
+        client.on_tick();
+        *commits += client.take_completed().len();
+    };
+    while t0.elapsed() < window {
+        drive_client(&mut client, &mut commits, &mut submitted, &mut scratch);
+    }
+    let elapsed = t0.elapsed();
+    let frames = load_frames.load(Ordering::Relaxed) - frames0;
+    let threads = proc_self_status("Threads:").unwrap_or(0);
+    let rss_mb = proc_self_status("VmRSS:").unwrap_or(0) as f64 / 1024.0;
+
+    // Stop the storm; give the client a short load-free grace window to
+    // land at least one in-flight commit (proof the protocol survived).
+    stop_load.store(true, Ordering::SeqCst);
+    let dialed = driver.join().expect("driver");
+    let grace = Instant::now();
+    while commits == 0 && grace.elapsed() < Duration::from_secs(10) {
+        drive_client(&mut client, &mut commits, &mut submitted, &mut scratch);
+    }
+    stop.store(true, Ordering::SeqCst);
+    client_node.shutdown();
+    for h in handles {
+        let _ = h.join();
+    }
+
+    assert!(
+        commits >= 1,
+        "the protocol client must commit transactions on the flooded cluster"
+    );
+    if min_conns > 0 {
+        assert!(
+            connections >= min_conns,
+            "cluster held {connections} concurrent load connections (dialed {dialed}), \
+             need >= {min_conns}"
+        );
+    }
+    C10kResult {
+        connections,
+        frames_s: frames as f64 / elapsed.as_secs_f64(),
+        threads,
+        rss_mb,
+        commits,
+    }
+}
+
+fn run_c10k_quick() -> C10kResult {
+    let (conns, secs) = QUICK_C10K;
+    run_c10k(conns, secs, 0)
+}
+
+/// The full-mode c10k workload: 2,400 concurrent connections (the
+/// acceptance floor is 2,000) over a 10-second window.
+const FULL_C10K: (usize, u64, usize) = (2_400, 10, 2_000);
+
 fn main() {
     let cfg = config();
+    if cfg.c10k_only {
+        let (conns, secs, floor) =
+            if cfg.quick { (QUICK_C10K.0, QUICK_C10K.1, 0) } else { FULL_C10K };
+        println!("=== pipeline_throughput --mode=c10k (4 replicas over TCP) ===");
+        let r = run_c10k(conns, secs, floor);
+        println!(
+            "c10k: connections={} frames_s={:.1} threads={} rss_mb={:.1} commits={}",
+            r.connections, r.frames_s, r.threads, r.rss_mb, r.commits
+        );
+        let _ = std::fs::create_dir_all("target/experiments");
+        let json = format!(
+            "{{\n  \"bench\": \"pipeline_throughput\",\n  \"mode\": \"c10k\",\n  \
+             \"quick\": {},\n  \"c10k_connections\": {},\n  \
+             \"c10k_frames_per_sec\": {:.1},\n  \"c10k_threads\": {},\n  \
+             \"c10k_rss_mb\": {:.1},\n  \"c10k_protocol_commits\": {}\n}}\n",
+            cfg.quick, r.connections, r.frames_s, r.threads, r.rss_mb, r.commits
+        );
+        let path = "target/experiments/pipeline_c10k.json";
+        std::fs::write(path, json).expect("write bench json");
+        println!("[written {path}]");
+        return;
+    }
     if cfg.sync_only {
         let (batches, batch_size, accounts) =
             if cfg.quick { QUICK_SYNC } else { (40, 100, cfg.accounts) };
@@ -409,12 +765,18 @@ fn main() {
         println!("refetch   (quick):    ops_s={refetch:.1}");
         let sync = run_sync_quick();
         println!("sync      (quick):    pages_s={:.1} bytes_s={:.1}", sync.pages_s, sync.bytes_s);
+        let c10k = run_c10k_quick();
+        println!(
+            "c10k      (quick):    connections={} frames_s={:.1} threads={}",
+            c10k.connections, c10k.frames_s, c10k.threads
+        );
         let _ = std::fs::create_dir_all("target/experiments");
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"quick\": true,\n  \
              \"ops_per_sec\": {:.1},\n  \"refetch_ops_per_sec\": {refetch:.1},\n  \
-             \"sync_bytes_per_sec\": {:.1}\n}}\n",
-            baseline.ops_s, sync.bytes_s
+             \"sync_bytes_per_sec\": {:.1},\n  \
+             \"c10k_frames_per_sec\": {:.1}\n}}\n",
+            baseline.ops_s, sync.bytes_s, c10k.frames_s
         );
         ("target/experiments/pipeline_quick.json", json)
     } else {
@@ -434,14 +796,25 @@ fn main() {
             "sync      (recovery): pages={} bytes={} pages_s={:.1} bytes_s={:.1}",
             sync.pages, sync.bytes, sync.pages_s, sync.bytes_s
         );
+        // The transport path, at full scale (the 2,000-connection floor
+        // is enforced here — a thread-per-connection transport cannot
+        // hold this with O(nodes) threads).
+        let (c_conns, c_secs, c_floor) = FULL_C10K;
+        let c10k = run_c10k(c_conns, c_secs, c_floor);
+        println!(
+            "c10k      (transport): connections={} frames_s={:.1} threads={} rss_mb={:.1} commits={}",
+            c10k.connections, c10k.frames_s, c10k.threads, c10k.rss_mb, c10k.commits
+        );
         // Also measure the quick configurations: the committed references
         // CI's quick smoke run is compared against (warn-only).
         let quick_ref = run_mode(5, 20, 1_000, 0, cfg.shards);
         let quick_refetch = run_refetch_quick();
         let quick_sync = run_sync_quick();
+        let quick_c10k = run_c10k_quick();
         println!(
-            "quick-ref (CI smoke): ops_s={:.1} refetch_ops_s={quick_refetch:.1} sync_bytes_s={:.1}",
-            quick_ref.ops_s, quick_sync.bytes_s
+            "quick-ref (CI smoke): ops_s={:.1} refetch_ops_s={quick_refetch:.1} \
+             sync_bytes_s={:.1} c10k_frames_s={:.1}",
+            quick_ref.ops_s, quick_sync.bytes_s, quick_c10k.frames_s
         );
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"replicas\": 4,\n  \
@@ -454,9 +827,13 @@ fn main() {
              \"refetch_ops_per_sec\": {refetch:.1},\n  \
              \"sync_pages\": {},\n  \"sync_bytes\": {},\n  \
              \"sync_pages_per_sec\": {:.1},\n  \"sync_bytes_per_sec\": {:.1},\n  \
+             \"c10k_connections\": {},\n  \"c10k_frames_per_sec\": {:.1},\n  \
+             \"c10k_threads\": {},\n  \"c10k_rss_mb\": {:.1},\n  \
+             \"c10k_protocol_commits\": {},\n  \
              \"quick_ref_ops_per_sec\": {:.1},\n  \
              \"quick_ref_refetch_ops_per_sec\": {quick_refetch:.1},\n  \
-             \"quick_ref_sync_bytes_per_sec\": {:.1}\n}}\n",
+             \"quick_ref_sync_bytes_per_sec\": {:.1},\n  \
+             \"quick_ref_c10k_frames_per_sec\": {:.1}\n}}\n",
             cfg.batches,
             cfg.batch_size,
             cfg.accounts,
@@ -471,8 +848,14 @@ fn main() {
             sync.bytes,
             sync.pages_s,
             sync.bytes_s,
+            c10k.connections,
+            c10k.frames_s,
+            c10k.threads,
+            c10k.rss_mb,
+            c10k.commits,
             quick_ref.ops_s,
-            quick_sync.bytes_s
+            quick_sync.bytes_s,
+            quick_c10k.frames_s
         );
         ("BENCH_pipeline.json", json)
     };

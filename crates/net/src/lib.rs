@@ -14,17 +14,26 @@
 //!   transport: scratch-buffer encoding (no per-message allocation on the
 //!   hot path), hostile-prefix-safe decoding, and [`frame::FramedEndpoint`]
 //!   for byte-framed traffic over the bus.
-//! * [`tcp`] — a real localhost TCP transport speaking [`frame`] frames
-//!   (one reader thread per connection, single-write sends, graceful
-//!   shutdown), used by the `tcp_cluster` example to run the protocol over
-//!   actual sockets.
+//! * [`tcp`] — a real-socket TCP transport speaking [`frame`] frames on an
+//!   **event-driven runtime**: one epoll loop per node owns the listener
+//!   and every connection (O(nodes) threads for O(10k) connections),
+//!   with deadline-bounded handshakes, generation-tagged peer entries,
+//!   bounded inbound/outbound queues and readiness-driven flushing. Used
+//!   by the `tcp_cluster` example and the `--mode c10k` benchmark.
+//! * [`poll`] — the minimal vendored epoll/eventfd poller the runtime
+//!   (and the benchmark's client sweep) is built on.
+//! * [`conn`] — per-connection state: incremental frame reassembly
+//!   ([`conn::FrameAssembler`]) and the bounded outbound queue.
 
 pub mod bus;
+pub mod conn;
 pub mod frame;
 pub mod latency;
+pub mod poll;
 pub mod tcp;
 
 pub use bus::{Bus, BusEndpoint, Envelope};
+pub use conn::FrameAssembler;
 pub use frame::{FrameError, FramedEndpoint};
 pub use latency::LatencyModel;
-pub use tcp::{TcpNode, TcpPeer};
+pub use tcp::{TcpConfig, TcpNode, TcpPeer};

@@ -62,4 +62,10 @@ compare sync \
     "$(extract "$baseline_file" quick_ref_sync_bytes_per_sec || true)" \
     "$(extract "$quick_file" sync_bytes_per_sec || true)"
 
+# Transport path (`--mode c10k` workload; event-driven TCP runtime).
+# Load frames/s absorbed by the cluster, quick configuration.
+compare c10k \
+    "$(extract "$baseline_file" quick_ref_c10k_frames_per_sec || true)" \
+    "$(extract "$quick_file" c10k_frames_per_sec || true)"
+
 exit 0

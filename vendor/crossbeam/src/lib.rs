@@ -1,10 +1,13 @@
 //! Minimal `crossbeam` shim: the `channel` module only.
 
 pub mod channel {
-    //! An unbounded MPMC channel over `Mutex<VecDeque>` + `Condvar`,
-    //! matching the fraction of crossbeam-channel's API this tree uses:
-    //! clonable senders *and* receivers, `send`/`recv`/`try_recv`/
-    //! `recv_timeout`, and disconnection when the last peer drops.
+    //! An MPMC channel over `Mutex<VecDeque>` + `Condvar`, matching the
+    //! fraction of crossbeam-channel's API this tree uses: unbounded and
+    //! bounded flavors, clonable senders *and* receivers,
+    //! `send`/`try_send`/`recv`/`try_recv`/`recv_timeout`, `len`, and
+    //! disconnection when the last peer drops. On a bounded channel
+    //! `send` blocks while full and `try_send` fails with
+    //! [`TrySendError::Full`].
 
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -14,6 +17,10 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a slot frees up in a bounded channel.
+        space: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -56,15 +63,37 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    /// Error returned by `try_send`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity; the message is returned.
+        Full(T),
+        /// Every receiver is gone; the message is returned.
+        Disconnected(T),
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` messages (`cap`
+    /// must be at least 1 — rendezvous channels are not supported).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        with_capacity(Some(cap))
     }
 
     impl<T> Inner<T> {
@@ -74,14 +103,58 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Queue a message; fails when all receivers are dropped.
+        /// Queue a message; fails when all receivers are dropped. On a
+        /// bounded channel, blocks while the queue is at capacity.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(msg));
             }
-            self.inner.lock().push_back(msg);
+            let mut q = self.inner.lock();
+            if let Some(cap) = self.inner.capacity {
+                while q.len() >= cap {
+                    if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(msg));
+                    }
+                    q = self.inner.space.wait(q).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+            q.push_back(msg);
+            drop(q);
             self.inner.ready.notify_one();
             Ok(())
+        }
+
+        /// Queue a message without blocking: fails with `Full` when a
+        /// bounded channel is at capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut q = self.inner.lock();
+            if let Some(cap) = self.inner.capacity {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            q.push_back(msg);
+            drop(q);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's capacity (`None` = unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.inner.capacity
         }
     }
 
@@ -110,7 +183,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.inner.lock();
             match q.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(q);
+                    self.inner.space.notify_one();
+                    Ok(v)
+                }
                 None if self.inner.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -123,6 +200,8 @@ pub mod channel {
             let mut q = self.inner.lock();
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -138,6 +217,8 @@ pub mod channel {
             let mut q = self.inner.lock();
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -155,6 +236,21 @@ pub mod channel {
                 q = guard;
             }
         }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's capacity (`None` = unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.inner.capacity
+        }
     }
 
     impl<T> Clone for Receiver<T> {
@@ -166,7 +262,13 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Same lock-then-notify protocol as the Sender drop: a
+                // bounded-channel sender mid check-then-wait on `space`
+                // must not miss the disconnect wakeup.
+                drop(self.inner.lock());
+                self.inner.space.notify_all();
+            }
         }
     }
 
@@ -223,6 +325,44 @@ pub mod channel {
                 assert_eq!(h.join().unwrap(), Err(RecvError));
                 assert!(start.elapsed() < Duration::from_secs(5));
             }
+        }
+
+        #[test]
+        fn bounded_try_send_full_then_drains() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Ok(()));
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            assert_eq!(rx.capacity(), Some(2));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_slot_frees() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || {
+                tx.send(2).unwrap();
+                Instant::now()
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            let before_pop = Instant::now();
+            assert_eq!(rx.recv(), Ok(1));
+            let unblocked_at = h.join().unwrap();
+            assert!(unblocked_at >= before_pop, "send returned before a slot freed");
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn bounded_send_wakes_on_receiver_drop() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(30));
+            drop(rx);
+            assert_eq!(h.join().unwrap(), Err(SendError(2)));
         }
 
         #[test]
