@@ -35,6 +35,13 @@
 //! O(nodes)-threads claim of the readiness-driven event loop, versus the
 //! thread-per-connection transport it replaced).
 //!
+//! The full run additionally records the *admission verify stage* in
+//! isolation: Ed25519 batch verification sequentially versus fanned out
+//! over the persistent worker pool (`verify_batch_indices_on`), at the
+//! machine's resolved pool size and at a pinned 4-thread pool — the
+//! committed evidence that the pool engages (`verify_pool4_tasks` > 0)
+//! and what the fan-out buys, independent of the runner's core count.
+//!
 //! Knobs:
 //!
 //! * `--mode=all|refetch|sync|c10k` / `IACCF_MODE` — `refetch` runs only
@@ -67,7 +74,9 @@ use bench::accounts;
 use ia_ccf_client::{Client, ClientSend};
 use ia_ccf_core::app::CounterApp;
 use ia_ccf_core::{Input, NodeId, Output, ProtocolParams};
+use ia_ccf_crypto::{verify_batch_indices, verify_batch_indices_on, KeyPair, VerifyJob};
 use ia_ccf_net::{frame, TcpNode};
+use ia_ccf_pool::WorkerPool;
 use ia_ccf_sim::metrics::Histogram;
 use ia_ccf_sim::{ClusterSpec, DetCluster};
 use ia_ccf_types::{ClientId, ProtocolMsg, ReplicaId, Wire};
@@ -676,6 +685,65 @@ fn run_c10k_quick() -> C10kResult {
     run_c10k(conns, secs, 0)
 }
 
+/// Result of one verify-stage (admission) microbench run.
+struct VerifyResult {
+    /// The pool size `ProtocolParams::default()` resolves to on this
+    /// machine (what a replica actually constructs).
+    pool_threads: usize,
+    /// Sequential Ed25519 batch verification, signatures per second.
+    serial_sigs_s: f64,
+    /// Same jobs fanned out over the resolved worker pool.
+    pooled_sigs_s: f64,
+    /// Same jobs over a pinned 4-thread pool (machine-independent
+    /// evidence the fan-out path works even on a 1-core runner).
+    pool4_sigs_s: f64,
+    /// Tasks the pinned pool executed — non-zero proves the chunks were
+    /// dispatched to workers rather than verified inline.
+    pool4_tasks: u64,
+}
+
+/// The quick-mode verify workload: job count for the CI smoke run and
+/// the full run's committed `quick_ref_verify_sigs_per_sec` reference.
+const QUICK_VERIFY_JOBS: usize = 256;
+
+/// The verify-stage microbench: the admission stage's unit of work —
+/// a slice of Ed25519 [`VerifyJob`]s — checked sequentially and through
+/// the persistent worker pool (the same `verify_batch_indices_on` fan-out
+/// the replica uses for batched client-signature admission).
+fn run_verify(jobs_n: usize) -> VerifyResult {
+    let kp = KeyPair::from_label("bench-verify");
+    let key = kp.public();
+    let jobs: Vec<VerifyJob> = (0..jobs_n)
+        .map(|i| {
+            let msg = format!("verify-job-{i}").into_bytes();
+            let sig = kp.sign(&msg);
+            VerifyJob { key, msg, sig }
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let failed = verify_batch_indices(&jobs);
+    let serial_sigs_s = jobs_n as f64 / t0.elapsed().as_secs_f64();
+    assert!(failed.is_empty(), "bench signatures must verify");
+
+    let pool_threads = ProtocolParams::default().resolved_pool_threads();
+    let pool = WorkerPool::new(pool_threads);
+    let t0 = Instant::now();
+    let failed = verify_batch_indices_on(&pool, &jobs);
+    let pooled_sigs_s = jobs_n as f64 / t0.elapsed().as_secs_f64();
+    assert!(failed.is_empty(), "pooled verification must agree with serial");
+
+    let pool4 = WorkerPool::new(4);
+    let t0 = Instant::now();
+    let failed = verify_batch_indices_on(&pool4, &jobs);
+    let pool4_sigs_s = jobs_n as f64 / t0.elapsed().as_secs_f64();
+    assert!(failed.is_empty(), "pooled verification must agree with serial");
+    let pool4_tasks = pool4.tasks_completed();
+    assert!(pool4_tasks > 0, "the 4-thread pool must actually dispatch tasks");
+
+    VerifyResult { pool_threads, serial_sigs_s, pooled_sigs_s, pool4_sigs_s, pool4_tasks }
+}
+
 /// The full-mode c10k workload: 2,400 concurrent connections (the
 /// acceptance floor is 2,000) over a 10-second window.
 const FULL_C10K: (usize, u64, usize) = (2_400, 10, 2_000);
@@ -770,13 +838,20 @@ fn main() {
             "c10k      (quick):    connections={} frames_s={:.1} threads={}",
             c10k.connections, c10k.frames_s, c10k.threads
         );
+        let verify = run_verify(QUICK_VERIFY_JOBS);
+        println!(
+            "verify    (quick):    pool_threads={} serial_sigs_s={:.1} pooled_sigs_s={:.1}",
+            verify.pool_threads, verify.serial_sigs_s, verify.pooled_sigs_s
+        );
         let _ = std::fs::create_dir_all("target/experiments");
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"quick\": true,\n  \
              \"ops_per_sec\": {:.1},\n  \"refetch_ops_per_sec\": {refetch:.1},\n  \
              \"sync_bytes_per_sec\": {:.1},\n  \
-             \"c10k_frames_per_sec\": {:.1}\n}}\n",
-            baseline.ops_s, sync.bytes_s, c10k.frames_s
+             \"c10k_frames_per_sec\": {:.1},\n  \
+             \"pool_threads\": {},\n  \
+             \"verify_sigs_per_sec\": {:.1}\n}}\n",
+            baseline.ops_s, sync.bytes_s, c10k.frames_s, verify.pool_threads, verify.pooled_sigs_s
         );
         ("target/experiments/pipeline_quick.json", json)
     } else {
@@ -805,16 +880,29 @@ fn main() {
             "c10k      (transport): connections={} frames_s={:.1} threads={} rss_mb={:.1} commits={}",
             c10k.connections, c10k.frames_s, c10k.threads, c10k.rss_mb, c10k.commits
         );
+        // The admission verify stage, serial vs pooled — the committed
+        // evidence the worker pool engages and what it buys.
+        let verify = run_verify(1_024);
+        println!(
+            "verify    (admission): pool_threads={} serial_sigs_s={:.1} pooled_sigs_s={:.1} \
+             pool4_sigs_s={:.1} pool4_tasks={}",
+            verify.pool_threads,
+            verify.serial_sigs_s,
+            verify.pooled_sigs_s,
+            verify.pool4_sigs_s,
+            verify.pool4_tasks
+        );
         // Also measure the quick configurations: the committed references
         // CI's quick smoke run is compared against (warn-only).
         let quick_ref = run_mode(5, 20, 1_000, 0, cfg.shards);
         let quick_refetch = run_refetch_quick();
         let quick_sync = run_sync_quick();
         let quick_c10k = run_c10k_quick();
+        let quick_verify = run_verify(QUICK_VERIFY_JOBS);
         println!(
             "quick-ref (CI smoke): ops_s={:.1} refetch_ops_s={quick_refetch:.1} \
-             sync_bytes_s={:.1} c10k_frames_s={:.1}",
-            quick_ref.ops_s, quick_sync.bytes_s, quick_c10k.frames_s
+             sync_bytes_s={:.1} c10k_frames_s={:.1} verify_sigs_s={:.1}",
+            quick_ref.ops_s, quick_sync.bytes_s, quick_c10k.frames_s, quick_verify.pooled_sigs_s
         );
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"replicas\": 4,\n  \
@@ -830,10 +918,16 @@ fn main() {
              \"c10k_connections\": {},\n  \"c10k_frames_per_sec\": {:.1},\n  \
              \"c10k_threads\": {},\n  \"c10k_rss_mb\": {:.1},\n  \
              \"c10k_protocol_commits\": {},\n  \
+             \"pool_threads\": {},\n  \
+             \"verify_sigs_per_sec_serial\": {:.1},\n  \
+             \"verify_sigs_per_sec\": {:.1},\n  \
+             \"verify_pool4_sigs_per_sec\": {:.1},\n  \
+             \"verify_pool4_tasks\": {},\n  \
              \"quick_ref_ops_per_sec\": {:.1},\n  \
              \"quick_ref_refetch_ops_per_sec\": {quick_refetch:.1},\n  \
              \"quick_ref_sync_bytes_per_sec\": {:.1},\n  \
-             \"quick_ref_c10k_frames_per_sec\": {:.1}\n}}\n",
+             \"quick_ref_c10k_frames_per_sec\": {:.1},\n  \
+             \"quick_ref_verify_sigs_per_sec\": {:.1}\n}}\n",
             cfg.batches,
             cfg.batch_size,
             cfg.accounts,
@@ -853,9 +947,15 @@ fn main() {
             c10k.threads,
             c10k.rss_mb,
             c10k.commits,
+            verify.pool_threads,
+            verify.serial_sigs_s,
+            verify.pooled_sigs_s,
+            verify.pool4_sigs_s,
+            verify.pool4_tasks,
             quick_ref.ops_s,
             quick_sync.bytes_s,
-            quick_c10k.frames_s
+            quick_c10k.frames_s,
+            quick_verify.pooled_sigs_s
         );
         ("BENCH_pipeline.json", json)
     };

@@ -47,6 +47,20 @@ pub struct ProtocolParams {
     /// value (the differential harness in `tests/sharded_execution.rs`
     /// enforces this), so replicas of one cluster may differ.
     pub execution_shards: usize,
+    /// Worker threads in the replica's persistent pool
+    /// ([`ia_ccf_pool::WorkerPool`]), which carries every parallel hot
+    /// path: batched client-signature verification, speculative
+    /// conflict-group execution, the per-shard write-set merge, and the
+    /// cross-batch overlap (verify pre-prepare *n+1*'s signatures while
+    /// batch *n* executes). `0` resolves to the `IACCF_POOL_THREADS`
+    /// environment variable if set, else the machine's available
+    /// parallelism (capped at 8); `1` disables all pool offload — every
+    /// path runs inline, byte-for-byte like the pre-pool replica.
+    /// **Local** knob like the shard count: ledger bytes, digests and
+    /// receipts are byte-identical for any value (pool-size sweeps in
+    /// `tests/sharded_execution.rs` and `tests/pipeline_view_change.rs`
+    /// enforce this), so replicas of one cluster may differ.
+    pub pool_threads: usize,
     /// How many committed batches of execution state (and with them the
     /// receipt-serving caches: locator entries, certificates, frozen
     /// paths) are retained for receipt re-fetch. Older transactions
@@ -82,6 +96,7 @@ impl Default for ProtocolParams {
             replica_auth: ReplicaAuth::Signatures,
             peer_review: false,
             execution_shards: 0,
+            pool_threads: 0,
             exec_retention_batches: 64,
             sync_page_bytes: 1 << 20,
             sync_timeout_ticks: 8,
@@ -99,6 +114,26 @@ impl ProtocolParams {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 8),
             n => n,
         }
+    }
+
+    /// The worker-thread count `pool_threads` resolves to on this
+    /// machine. An explicit value always wins; `0` (auto) consults
+    /// `IACCF_POOL_THREADS` first — that is what lets CI pin a
+    /// multi-thread pool on a single-core runner without touching test
+    /// code — and falls back to available parallelism capped at 8.
+    pub fn resolved_pool_threads(&self) -> usize {
+        if self.pool_threads != 0 {
+            return self.pool_threads;
+        }
+        if let Some(n) = std::env::var("IACCF_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 8)
     }
 
     /// The page budget this replica actually requests: the configured
@@ -184,5 +219,18 @@ mod tests {
         assert_eq!(pinned.resolved_execution_shards(), 5);
         let serial = ProtocolParams { execution_shards: 1, ..ProtocolParams::default() };
         assert_eq!(serial.resolved_execution_shards(), 1);
+    }
+
+    #[test]
+    fn pool_threads_resolve_sanely() {
+        // Auto stays in a sane band whether or not IACCF_POOL_THREADS is
+        // set in the environment (CI pins it for the multi-thread job).
+        let auto = ProtocolParams::default();
+        assert!(auto.resolved_pool_threads() >= 1);
+        // An explicit value always beats the environment override.
+        let pinned = ProtocolParams { pool_threads: 5, ..ProtocolParams::default() };
+        assert_eq!(pinned.resolved_pool_threads(), 5);
+        let serial = ProtocolParams { pool_threads: 1, ..ProtocolParams::default() };
+        assert_eq!(serial.resolved_pool_threads(), 1);
     }
 }

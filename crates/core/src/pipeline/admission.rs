@@ -5,16 +5,76 @@
 //! executed set, and queues the request for ordering. Client *signature*
 //! checks on app requests are deferred to batch time (§3.4: "Signature
 //! verification is parallelized for messages received from replicas and
-//! clients"): [`Replica::ensure_batch_verified`] hands the whole batch to
-//! [`ia_ccf_crypto::verify_batch_indices`] as a single job slice — one
+//! clients") and fan out over the replica's persistent
+//! [`ia_ccf_pool::WorkerPool`] in deterministically ordered chunks — one
 //! parallel verification pass per pre-prepare, not one closure per
-//! request. Out-of-order pre-prepares waiting for request bodies are
-//! stashed here too.
+//! request. Verification is split into `start_batch_verify` /
+//! `finish_batch_verify` halves so the ordering stage can overlap it
+//! with batch execution, and `prewarm_next_batch_verify` pushes the
+//! overlap across batches: while batch *n* executes, the pool verifies
+//! the signatures of the *next* batch (a stashed out-of-order
+//! pre-prepare on a backup, the head of the request queue on the
+//! primary), harvested into the `verified_reqs` cache at the next
+//! admission. Both overlaps are determinism-safe because signature
+//! validity is a pure function of the request bytes: the cache only
+//! ever holds facts, never timing. Out-of-order pre-prepares waiting
+//! for request bodies are stashed here too.
 
 use ia_ccf_crypto::VerifyJob;
+use ia_ccf_pool::{TaskHandle, WorkerPool};
 use ia_ccf_types::{Digest, PrePrepare, RequestAction, SignedRequest};
 
 use crate::replica::Replica;
+
+/// Client-signature verification in flight on the worker pool: the
+/// batch's unverified app-request digests, plus one [`TaskHandle`] per
+/// job chunk (chunk results carry their base offset so the failed-index
+/// list stitches back in ascending order).
+pub(crate) struct PendingVerify {
+    digests: Vec<Digest>,
+    chunks: Vec<(usize, TaskHandle<Vec<usize>>)>,
+    /// False when a request referenced an unknown client key (detected
+    /// at collection time, not worth a pool round-trip).
+    all_ok: bool,
+}
+
+impl PendingVerify {
+    /// Join every chunk and return the failed indices, ascending.
+    fn join_failed(self) -> (Vec<Digest>, Vec<usize>, bool) {
+        let mut failed = Vec::new();
+        for (base, handle) in self.chunks {
+            failed.extend(handle.join().into_iter().map(|i| base + i));
+        }
+        failed.sort_unstable();
+        (self.digests, failed, self.all_ok)
+    }
+}
+
+/// A batch-verification pass either completed inline (serial pool, empty
+/// job list, or signature checks disabled) or is pending on the pool.
+pub(crate) enum BatchVerify {
+    Done(bool),
+    Pending(PendingVerify),
+}
+
+/// Split `jobs` into per-worker chunks and submit each to the pool,
+/// recording the base index of every chunk.
+fn spawn_verify_chunks(
+    pool: &WorkerPool,
+    mut jobs: Vec<VerifyJob>,
+) -> Vec<(usize, TaskHandle<Vec<usize>>)> {
+    let chunk = jobs.len().div_ceil(pool.threads()).max(ia_ccf_crypto::VERIFY_MIN_CHUNK);
+    let mut chunks = Vec::new();
+    let mut base = 0;
+    while !jobs.is_empty() {
+        let take = chunk.min(jobs.len());
+        let rest = jobs.split_off(take);
+        let part = std::mem::replace(&mut jobs, rest);
+        chunks.push((base, pool.submit(move || ia_ccf_crypto::verify_batch_indices(&part))));
+        base += take;
+    }
+    chunks
+}
 
 impl Replica {
     pub(crate) fn on_request(&mut self, req: SignedRequest) {
@@ -53,12 +113,70 @@ impl Replica {
 
     /// Batch-verify the client signatures of `requests`, caching
     /// successes. The batch's unverified app requests become one
-    /// [`VerifyJob`] slice handed to the shared parallel verifier
-    /// (§3.4). Returns false when any signature is invalid or unkeyed.
+    /// [`VerifyJob`] slice fanned out over the worker pool (§3.4).
+    /// Returns false when any signature is invalid or unkeyed.
     pub(crate) fn ensure_batch_verified(&mut self, requests: &[SignedRequest]) -> bool {
+        let pass = self.start_batch_verify(requests);
+        self.finish_batch_verify(pass)
+    }
+
+    /// First half of batch verification: harvest any cross-batch prewarm
+    /// results, collect the still-unverified jobs and — when the pool
+    /// has real workers — hand them off without blocking, so the caller
+    /// can execute the batch while signatures verify. With a size-1 pool
+    /// (or nothing to verify) the pass completes inline, byte-for-byte
+    /// like the pre-pool replica.
+    pub(crate) fn start_batch_verify(&mut self, requests: &[SignedRequest]) -> BatchVerify {
         if !self.params.verify_client_sigs {
-            return true;
+            return BatchVerify::Done(true);
         }
+        self.harvest_prewarm();
+        let (digests, jobs, all_ok) = self.collect_verify_jobs(requests.iter());
+        if jobs.is_empty() {
+            return BatchVerify::Done(all_ok);
+        }
+        if self.pool.threads() <= 1 {
+            let failed = ia_ccf_crypto::verify_batch_indices(&jobs);
+            return BatchVerify::Done(self.absorb_verify_results(&digests, &failed) && all_ok);
+        }
+        let chunks = spawn_verify_chunks(&self.pool, jobs);
+        BatchVerify::Pending(PendingVerify { digests, chunks, all_ok })
+    }
+
+    /// Second half: join the in-flight chunks (if any), cache the valid
+    /// digests, and report whether the whole batch verified.
+    pub(crate) fn finish_batch_verify(&mut self, pass: BatchVerify) -> bool {
+        match pass {
+            BatchVerify::Done(ok) => ok,
+            BatchVerify::Pending(pending) => {
+                let (digests, failed, all_ok) = pending.join_failed();
+                self.absorb_verify_results(&digests, &failed) && all_ok
+            }
+        }
+    }
+
+    /// Cache every digest whose index is not in the (ascending) failed
+    /// list; returns true iff nothing failed.
+    fn absorb_verify_results(&mut self, digests: &[Digest], failed: &[usize]) -> bool {
+        let mut next_failure = failed.iter().peekable();
+        let mut ok = true;
+        for (i, digest) in digests.iter().enumerate() {
+            if next_failure.peek() == Some(&&i) {
+                next_failure.next();
+                ok = false;
+            } else {
+                self.verified_reqs.insert(*digest);
+            }
+        }
+        ok
+    }
+
+    /// The unverified app-request jobs among `requests`, in order.
+    /// `all_ok` comes back false when a request's client key is unknown.
+    fn collect_verify_jobs<'a>(
+        &self,
+        requests: impl Iterator<Item = &'a SignedRequest>,
+    ) -> (Vec<Digest>, Vec<VerifyJob>, bool) {
         let mut all_ok = true;
         let mut digests: Vec<Digest> = Vec::new();
         let mut jobs: Vec<VerifyJob> = Vec::new();
@@ -82,21 +200,51 @@ impl Replica {
                 None => all_ok = false,
             }
         }
+        (digests, jobs, all_ok)
+    }
+
+    /// Cross-batch overlap: while the batch at `seq_next` executes, start
+    /// verifying the signatures the *next* batch will need — the stashed
+    /// pre-prepare for the next slot if one arrived out of order (backup),
+    /// else the head of the pending-request queue (primary). Harvested by
+    /// `harvest_prewarm` at the next admission; no-ops on a size-1 pool
+    /// (there is no spare worker to overlap onto).
+    pub(crate) fn prewarm_next_batch_verify(&mut self) {
+        if !self.params.verify_client_sigs
+            || self.pool.threads() <= 1
+            || self.prewarm_verify.is_some()
+        {
+            return;
+        }
+        let next_seq = self.seq_next.next();
+        let candidates: Vec<Digest> = if let Some((_, batch)) = self
+            .stashed_pps
+            .iter()
+            .find(|(pp, _)| pp.seq() == next_seq && pp.view() == self.view)
+        {
+            batch.clone()
+        } else if self.is_primary() {
+            self.pending_reqs.iter().take(self.params.batch_max).copied().collect()
+        } else {
+            return;
+        };
+        let (digests, jobs, _) =
+            self.collect_verify_jobs(candidates.iter().filter_map(|d| self.req_store.get(d)));
         if jobs.is_empty() {
-            return all_ok;
+            return;
         }
-        let mut failed = ia_ccf_crypto::verify_batch_indices(&jobs);
-        failed.sort_unstable();
-        let mut next_failure = failed.iter().peekable();
-        for (i, digest) in digests.iter().enumerate() {
-            if next_failure.peek() == Some(&&i) {
-                next_failure.next();
-                all_ok = false;
-            } else {
-                self.verified_reqs.insert(*digest);
-            }
+        let chunks = spawn_verify_chunks(&self.pool, jobs);
+        self.prewarm_verify = Some(PendingVerify { digests, chunks, all_ok: true });
+    }
+
+    /// Fold a finished (or still-running: join blocks) prewarm pass into
+    /// the verified-digest cache. Invalid signatures are simply not
+    /// cached — the owning batch's own verification pass rejects them.
+    pub(crate) fn harvest_prewarm(&mut self) {
+        if let Some(pending) = self.prewarm_verify.take() {
+            let (digests, failed, _) = pending.join_failed();
+            self.absorb_verify_results(&digests, &failed);
         }
-        all_ok
     }
 
     pub(crate) fn admit_request(&mut self, req: SignedRequest) {

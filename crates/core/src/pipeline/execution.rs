@@ -16,15 +16,17 @@
 //! (`ProtocolParams::execution_shards`), application transactions that
 //! pre-declare their key footprint ([`crate::app::App::key_hints`]) are
 //! partitioned into **conflict-free groups** (union-find over declared
-//! keys) and executed speculatively in parallel on scoped workers; each
-//! group sees the pre-batch store plus its own earlier writes
-//! ([`ia_ccf_kv::SpeculativeGroup`]). Transactions without hints, plus
-//! every governance/system transaction, run on the **serial fallback
-//! lane**, which also acts as a barrier: the batch is split into segments
-//! at serial transactions so cross-lane ordering is preserved. After a
-//! parallel segment completes, its write sets are merged into the sharded
-//! store **in original batch order**
-//! ([`ia_ccf_kv::ShardedKvStore::apply_write_set`]).
+//! keys) and executed speculatively in parallel on the replica's
+//! persistent worker pool ([`ia_ccf_pool::WorkerPool`] — no per-batch
+//! thread spawns); each group sees the pre-batch store plus its own
+//! earlier writes ([`ia_ccf_kv::SpeculativeGroup`]). Transactions
+//! without hints, plus every governance/system transaction, run on the
+//! **serial fallback lane**, which also acts as a barrier: the batch is
+//! split into segments at serial transactions so cross-lane ordering is
+//! preserved. After a parallel segment completes, its write sets are
+//! merged into the sharded store **in original batch order**, with the
+//! per-shard apply lists themselves fanned out over the pool
+//! ([`ia_ccf_kv::ShardedKvStore::apply_write_sets`]).
 //!
 //! The invariant the whole subsystem hangs on: ledger bytes, result
 //! outputs, write-set digests, `Ḡ` leaves and receipts are byte-identical
@@ -51,6 +53,10 @@ use ia_ccf_types::{
 use crate::checkpoint::CheckpointRecord;
 use crate::events::Output;
 use crate::replica::Replica;
+
+/// One conflict-free group's speculative output: `(batch position,
+/// result, write set)` per transaction, in group order.
+type GroupOutput = Vec<(usize, TxResult, Option<TxWriteSet>)>;
 
 /// Result of executing one transaction, plus the bookkeeping needed for
 /// replies and receipts.
@@ -299,9 +305,9 @@ impl Replica {
         }
 
         let app = Arc::clone(&self.app);
-        let outputs = {
+        let outputs: Vec<GroupOutput> = {
             let base = &self.kv;
-            let run_group = |members: &[usize]| -> Vec<(usize, TxResult, Option<TxWriteSet>)> {
+            let run_group = |members: &[usize]| -> GroupOutput {
                 let mut spec = SpeculativeGroup::new(base);
                 members
                     .iter()
@@ -342,52 +348,52 @@ impl Replica {
                     })
                     .collect()
             };
-            if groups.len() == 1 {
-                vec![run_group(&groups[0])]
+            // Worker count derives from the *pool*, not the shard count:
+            // conflict groups routinely out-number shards (every
+            // uncontended transaction is its own group), and capping the
+            // fan-out at the key-space split was leaving workers idle.
+            let workers = groups.len().min(self.pool.threads());
+            if workers <= 1 {
+                groups.iter().map(|g| run_group(g)).collect()
             } else {
-                // Scoped worker pool: groups are round-robined over at
-                // most `shard_count` workers. Scheduling cannot influence
-                // results — groups are key-disjoint and results are keyed
-                // by batch position.
-                let workers = groups.len().min(self.kv.shard_count());
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = (0..workers)
-                        .map(|w| {
-                            let groups = &groups;
-                            let run_group = &run_group;
-                            s.spawn(move || {
-                                let mut acc = Vec::new();
-                                let mut gi = w;
-                                while gi < groups.len() {
-                                    acc.extend(run_group(&groups[gi]));
-                                    gi += workers;
-                                }
-                                acc
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| {
-                            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
-                        })
-                        .collect()
-                })
+                // Persistent pool: groups are round-robined over `workers`
+                // stripes. Scheduling cannot influence results — groups
+                // are key-disjoint and results are keyed by batch
+                // position.
+                let mut stripes: Vec<Option<GroupOutput>> = Vec::new();
+                stripes.resize_with(workers, || None);
+                self.pool.scope(|s| {
+                    for (w, slot) in stripes.iter_mut().enumerate() {
+                        let groups = &groups;
+                        let run_group = &run_group;
+                        s.spawn(move || {
+                            let mut acc = Vec::new();
+                            let mut gi = w;
+                            while gi < groups.len() {
+                                acc.extend(run_group(&groups[gi]));
+                                gi += workers;
+                            }
+                            *slot = Some(acc);
+                        });
+                    }
+                });
+                stripes.into_iter().map(|s| s.expect("every stripe executed")).collect()
             }
         };
 
         // Ordered write-set merge: apply each transaction's effects to the
         // sharded store in original batch order, so per-shard undo logs —
         // and therefore rollback — match serial execution's state history.
+        // The per-shard apply lists fan out over the pool (shards are
+        // disjoint stores, order within each is preserved).
         let mut merged: Vec<Option<TxWriteSet>> = Vec::new();
         merged.resize_with(n, || None);
         for (i, result, ws) in outputs.into_iter().flatten() {
             out[i] = Some(result);
             merged[i] = ws;
         }
-        for ws in merged.into_iter().flatten() {
-            self.kv.apply_write_set(ws);
-        }
+        let write_sets: Vec<TxWriteSet> = merged.into_iter().flatten().collect();
+        self.kv.apply_write_sets(&self.pool, write_sets);
     }
 
     fn execute_one(&mut self, _seq: SeqNum, req: &SignedRequest) -> Result<TxResult, ExecError> {

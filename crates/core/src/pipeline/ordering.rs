@@ -91,6 +91,10 @@ impl Replica {
                 }
                 continue;
             }
+            // Cross-batch overlap: the current batch's signatures are
+            // verified; start the pool on the next batch's (the queue
+            // head) before execution occupies this thread.
+            self.prewarm_next_batch_verify();
             if !self.send_batch(seq, BatchKind::Regular, requests, None) {
                 return;
             }
@@ -320,13 +324,23 @@ impl Replica {
 
         let requests: Vec<SignedRequest> =
             batch.iter().map(|h| self.req_store[h].clone()).collect();
-        if !self.ensure_batch_verified(&requests) {
+        // Pipelined verify-while-execute: hand this batch's signature
+        // checks to the worker pool, start verifying the *next* stashed
+        // pre-prepare's signatures too (cross-batch overlap), and execute
+        // the batch on this thread meanwhile. Safe because signature
+        // validity is a pure function of the request bytes: if any
+        // signature turns out bad, the already-executed batch rolls back
+        // through its mark — the same path a root mismatch takes.
+        let verify = self.start_batch_verify(&requests);
+        self.prewarm_next_batch_verify();
+        let exec_result = self.execute_batch(seq, view, pp.core.kind, &requests);
+        if !self.finish_batch_verify(verify) {
             // A correct primary never includes a forged request.
             self.rollback_batch(seq, &mark);
             self.note_divergence();
             return;
         }
-        let exec = match self.execute_batch(seq, view, pp.core.kind, &requests) {
+        let exec = match exec_result {
             Ok(e) => e,
             Err(e) => {
                 self.debug_reject(&pp, &format!("execution: {e:?}"));

@@ -75,6 +75,19 @@ pub struct Replica {
     // (see `ProtocolParams::execution_shards`) and never visible in
     // ledger bytes, digests or receipts.
     pub(crate) kv: ShardedKvStore,
+    /// Persistent worker pool carrying every parallel hot path: batched
+    /// client-signature verification, speculative conflict-group
+    /// execution and the per-shard write-set merge. A local knob like
+    /// the shard count — nothing scheduled on it may influence
+    /// consensus-visible bytes. `Arc` so verification work can be handed
+    /// to the pool's own workers while the replica keeps executing.
+    pub(crate) pool: Arc<ia_ccf_pool::WorkerPool>,
+    /// In-flight cross-batch signature verification: pre-prepare *n+1*'s
+    /// client signatures verify on the pool while batch *n* executes on
+    /// the replica thread; harvested at the next batch's admission
+    /// (`harvest_prewarm`). Caches only pure facts (which signatures are
+    /// valid), so timing can never leak into consensus state.
+    pub(crate) prewarm_verify: Option<crate::pipeline::admission::PendingVerify>,
     pub(crate) app: Arc<dyn App>,
     pub(crate) ledger: Ledger,
     pub(crate) gt_hash: Digest,
@@ -157,6 +170,7 @@ impl Replica {
         });
         let seed = hash_bytes(&[gt_hash.as_ref(), &id.0.to_le_bytes()].concat());
         let gov = GovernanceState::new(genesis.clone());
+        let pool = Arc::new(ia_ccf_pool::WorkerPool::new(params.resolved_pool_threads()));
         Replica {
             id,
             keypair,
@@ -178,6 +192,8 @@ impl Replica {
             my_nonces: HashMap::new(),
             rng: StdRng::from_seed(seed.0),
             kv,
+            pool,
+            prewarm_verify: None,
             app,
             ledger,
             gt_hash,
@@ -236,6 +252,10 @@ impl Replica {
     /// The key-value store.
     pub fn kv(&self) -> &ShardedKvStore {
         &self.kv
+    }
+    /// The persistent worker pool (stats and lifecycle test hooks).
+    pub fn pool(&self) -> &ia_ccf_pool::WorkerPool {
+        &self.pool
     }
     /// The checkpoint store.
     pub fn checkpoints(&self) -> &CheckpointStore {

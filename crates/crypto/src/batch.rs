@@ -1,14 +1,26 @@
-//! Parallel batch signature verification.
+//! Batch signature verification.
 //!
 //! §3.4: "Signature verification is parallelized for messages received from
 //! replicas and clients to improve throughput and scalability." §6.5 notes
 //! the audit bottleneck is client-request signature verification, "which can
 //! be trivially parallelized" — this module is that parallelization, shared
 //! by replicas and the auditor.
+//!
+//! [`verify_batch`] / [`verify_batch_indices`] are the **sequential**
+//! kernels (one core, no pool); [`verify_batch_on`] /
+//! [`verify_batch_indices_on`] fan the same work out over a persistent
+//! [`ia_ccf_pool::WorkerPool`] in deterministically ordered chunks. Both
+//! pairs return byte-identical answers — signature validity is a pure
+//! function of the job — so callers pick purely on whether they own a
+//! pool.
 
-use rayon::prelude::*;
+use ia_ccf_pool::WorkerPool;
 
 use crate::keys::{PublicKey, Signature};
+
+/// Smallest per-worker chunk worth a queue handoff: below this, Ed25519
+/// verification (~tens of µs each) is cheaper than waking a worker.
+pub const VERIFY_MIN_CHUNK: usize = 4;
 
 /// One verification work item: `sig` must verify over `msg` under `key`.
 pub struct VerifyJob {
@@ -20,19 +32,40 @@ pub struct VerifyJob {
     pub sig: Signature,
 }
 
-/// Verify all jobs in parallel; `true` iff every signature verifies.
-pub fn verify_batch(jobs: &[VerifyJob]) -> bool {
-    jobs.par_iter().all(|j| j.key.verify(&j.msg, &j.sig))
+impl VerifyJob {
+    fn check(&self) -> bool {
+        self.key.verify(&self.msg, &self.sig)
+    }
 }
 
-/// Verify all jobs in parallel and return the indices that *failed*.
+/// Verify all jobs sequentially; `true` iff every signature verifies.
+pub fn verify_batch(jobs: &[VerifyJob]) -> bool {
+    jobs.iter().all(VerifyJob::check)
+}
+
+/// Verify all jobs sequentially and return the indices that *failed*.
 ///
 /// Auditing needs to know which signer misbehaved, not just that someone
 /// did, so failures are reported individually.
 pub fn verify_batch_indices(jobs: &[VerifyJob]) -> Vec<usize> {
-    jobs.par_iter()
+    jobs.iter()
         .enumerate()
-        .filter_map(|(i, j)| (!j.key.verify(&j.msg, &j.sig)).then_some(i))
+        .filter_map(|(i, j)| (!j.check()).then_some(i))
+        .collect()
+}
+
+/// [`verify_batch`] fanned out over `pool` in chunks; same answer.
+pub fn verify_batch_on(pool: &WorkerPool, jobs: &[VerifyJob]) -> bool {
+    verify_batch_indices_on(pool, jobs).is_empty()
+}
+
+/// [`verify_batch_indices`] fanned out over `pool` in chunks. The failed
+/// indices come back in ascending order regardless of pool size (chunk
+/// results are stitched in slice order).
+pub fn verify_batch_indices_on(pool: &WorkerPool, jobs: &[VerifyJob]) -> Vec<usize> {
+    pool.map_chunked(jobs, VERIFY_MIN_CHUNK, |i, j| (!j.check()).then_some(i))
+        .into_iter()
+        .flatten()
         .collect()
 }
 
@@ -79,5 +112,22 @@ mod tests {
     #[test]
     fn empty_batch_is_vacuously_valid() {
         assert!(verify_batch(&[]));
+    }
+
+    #[test]
+    fn pooled_verification_matches_sequential() {
+        let mut js = jobs(33);
+        js[0].sig.0[5] ^= 9;
+        js[16].msg.push(b'x');
+        js[32].sig.0[63] ^= 1;
+        let serial = verify_batch_indices(&js);
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(verify_batch_indices_on(&pool, &js), serial, "{threads} threads");
+            assert!(!verify_batch_on(&pool, &js));
+        }
+        let pool = WorkerPool::new(4);
+        assert!(verify_batch_on(&pool, &jobs(17)));
+        assert!(pool.tasks_completed() > 0, "chunks must have hit the pool");
     }
 }

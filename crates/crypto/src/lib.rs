@@ -16,15 +16,20 @@
 //!   message, halving the signatures on the critical path.
 //!
 //! Signature verification dominates IA-CCF's cost (§6.8), so this crate also
-//! provides rayon-parallel batch verification ([`batch::verify_batch`]),
-//! mirroring the paper's parallelized verification (§3.4).
+//! provides batch verification ([`batch::verify_batch`] sequential,
+//! [`batch::verify_batch_on`] fanned out over a persistent
+//! [`ia_ccf_pool::WorkerPool`]), mirroring the paper's parallelized
+//! verification (§3.4).
 
 pub mod batch;
 pub mod digest;
 pub mod keys;
 pub mod nonce;
 
-pub use batch::{verify_batch, verify_batch_indices, VerifyJob};
+pub use batch::{
+    verify_batch, verify_batch_indices, verify_batch_indices_on, verify_batch_on, VerifyJob,
+    VERIFY_MIN_CHUNK,
+};
 pub use digest::{hash_bytes, hash_pair, Digest, Hasher, DIGEST_LEN};
 pub use keys::{KeyPair, PublicKey, Signature, PUBLIC_KEY_LEN, SIGNATURE_LEN};
 pub use nonce::{Nonce, NonceCommitment, NONCE_LEN};

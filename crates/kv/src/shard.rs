@@ -165,6 +165,45 @@ impl ShardedKvStore {
         }
     }
 
+    /// Apply many transactions' write sets in order — the batched form of
+    /// [`ShardedKvStore::apply_write_set`] — fanning the per-shard work
+    /// out over `pool`. Each write is routed to its shard in original
+    /// batch order first, then the per-shard op lists apply in parallel:
+    /// a shard's op subsequence is identical to what the serial loop
+    /// would feed it, so undo logs, rollback and digests cannot differ
+    /// (shards are disjoint stores; cross-shard apply order was never
+    /// observable). Falls back to the serial loop for a single shard, a
+    /// size-1 pool, or batches too small to pay for a handoff.
+    pub fn apply_write_sets(&mut self, pool: &ia_ccf_pool::WorkerPool, sets: Vec<TxWriteSet>) {
+        const PAR_APPLY_MIN_OPS: usize = 64;
+        let n = self.shards.len();
+        let total: usize = sets.iter().map(TxWriteSet::len).sum();
+        if n <= 1 || pool.threads() <= 1 || total < PAR_APPLY_MIN_OPS {
+            for ws in sets {
+                self.apply_write_set(ws);
+            }
+            return;
+        }
+        let mut per_shard: Vec<Vec<(Key, Option<Value>)>> = (0..n).map(|_| Vec::new()).collect();
+        for ws in sets {
+            for (key, value) in ws {
+                per_shard[shard_of(&key, n)].push((key, value));
+            }
+        }
+        pool.scope(|s| {
+            for (shard, ops) in self.shards.iter_mut().zip(per_shard) {
+                if ops.is_empty() {
+                    continue;
+                }
+                s.spawn(move || {
+                    for (key, value) in ops {
+                        shard.apply_one(key, value);
+                    }
+                });
+            }
+        });
+    }
+
     // ------------------------------------------------------------------
     // Batches (Lemma 1) — every shard carries the mark
     // ------------------------------------------------------------------
@@ -374,6 +413,58 @@ mod tests {
 
         kv.rollback_to_batch(2).unwrap();
         assert_eq!(kv.digest(), before, "merged writes must be undone by batch rollback");
+    }
+
+    #[test]
+    fn parallel_apply_write_sets_matches_serial_and_rolls_back() {
+        // Build a pile of write sets big enough to clear the parallel
+        // threshold, apply them serially and via the pool, and require
+        // identical digests — including after batch rollback.
+        let make_sets = || -> Vec<TxWriteSet> {
+            (0..8)
+                .map(|t| {
+                    let mut single = KvStore::new();
+                    single.begin_tx().unwrap();
+                    for i in 0..16u64 {
+                        let key = format!("k{}", (t * 16 + i) % 96).into_bytes();
+                        single.put(key, v(&format!("t{t}i{i}"))).unwrap();
+                    }
+                    if t == 5 {
+                        single.delete(k("k3")).unwrap();
+                    }
+                    single.commit_tx().unwrap()
+                })
+                .collect()
+        };
+        let seed = |kv: &mut ShardedKvStore| {
+            kv.begin_batch(1);
+            kv.begin_tx().unwrap();
+            for i in 0..96u64 {
+                kv.put(format!("k{i}").into_bytes(), v("seed")).unwrap();
+            }
+            kv.commit_tx().unwrap();
+        };
+
+        let mut serial = ShardedKvStore::new(4);
+        seed(&mut serial);
+        serial.begin_batch(2);
+        for ws in make_sets() {
+            serial.apply_write_set(ws);
+        }
+        let want = serial.digest();
+        serial.rollback_to_batch(2).unwrap();
+        let want_rolled_back = serial.digest();
+
+        for threads in [1, 2, 8] {
+            let pool = ia_ccf_pool::WorkerPool::new(threads);
+            let mut kv = ShardedKvStore::new(4);
+            seed(&mut kv);
+            kv.begin_batch(2);
+            kv.apply_write_sets(&pool, make_sets());
+            assert_eq!(kv.digest(), want, "{threads} pool threads");
+            kv.rollback_to_batch(2).unwrap();
+            assert_eq!(kv.digest(), want_rolled_back, "{threads} pool threads, rolled back");
+        }
     }
 
     #[test]

@@ -53,6 +53,16 @@ impl ClusterSpec {
         self
     }
 
+    /// Pin the worker-pool thread count on every replica. Like the shard
+    /// count, a local knob (artifacts are pool-size independent — the
+    /// pool-size sweeps enforce it); pinning keeps simulated runs
+    /// reproducible regardless of the host's core count or the
+    /// `IACCF_POOL_THREADS` environment.
+    pub fn with_pool_threads(mut self, threads: usize) -> Self {
+        self.params.pool_threads = threads;
+        self
+    }
+
     /// Client key provisioning list.
     pub fn client_keys(&self) -> Vec<(ClientId, PublicKey)> {
         self.clients.iter().map(|(id, kp)| (*id, kp.public())).collect()

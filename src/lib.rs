@@ -34,6 +34,7 @@ pub use ia_ccf_kv as kv;
 pub use ia_ccf_ledger as ledger;
 pub use ia_ccf_merkle as merkle;
 pub use ia_ccf_net as net;
+pub use ia_ccf_pool as pool;
 pub use ia_ccf_sim as sim;
 pub use ia_ccf_smallbank as smallbank;
 pub use ia_ccf_types as types;

@@ -174,17 +174,21 @@ fn rolled_back_governance_tx_reexecutes_identically() {
 
 #[test]
 fn sharded_batch_rolls_back_and_reexecutes_identically() {
-    // Rollback under sharding: a multi-transaction SmallBank batch is
-    // executed through the sharded parallel path (conflict-free groups +
-    // ordered write-set merge across 8 shards), prepared everywhere,
-    // committed nowhere. The view change must roll *every shard* back via
-    // the `BatchMark` and the new view's re-execution must be
-    // byte-identical — and identical to a fully serial (1-shard) cluster
-    // driven through the exact same schedule, crash included.
-    let run = |shards: usize| -> (Vec<Vec<u8>>, Vec<[u8; 32]>) {
+    // Rollback under sharding and pooled execution: a multi-transaction
+    // SmallBank batch is executed through the parallel path (conflict-free
+    // groups striped over the worker pool + ordered write-set merge across
+    // 8 shards), prepared everywhere, committed nowhere — with the
+    // admission stage's signature verification overlapping execution on
+    // the pool. The view change must roll *every shard* back via the
+    // `BatchMark` and the new view's re-execution must be byte-identical —
+    // and identical to a fully serial (1 shard, 1 pool thread) cluster
+    // driven through the exact same schedule, crash included. The pool
+    // dimension sweeps pool = shards and pool < shards.
+    let run = |shards: usize, pool: usize| -> (Vec<Vec<u8>>, Vec<[u8; 32]>) {
         let params = ProtocolParams {
             view_timeout_ticks: 15,
             execution_shards: shards,
+            pool_threads: pool,
             ..ProtocolParams::default()
         };
         let spec = ClusterSpec::new(4, 1, params);
@@ -260,9 +264,14 @@ fn sharded_batch_rolls_back_and_reexecutes_identically() {
         )
     };
 
-    let sharded = run(8);
-    let serial = run(1);
-    assert_eq!(sharded, serial, "sharded rollback/re-execution diverged from serial");
+    let serial = run(1, 1);
+    for (shards, pool) in [(8usize, 8usize), (8, 2)] {
+        let parallel = run(shards, pool);
+        assert_eq!(
+            parallel, serial,
+            "({shards} shards, {pool} pool threads) rollback/re-execution diverged from serial"
+        );
+    }
 }
 
 #[test]

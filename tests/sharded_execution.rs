@@ -1,19 +1,21 @@
 //! Differential harness for sharded KV execution.
 //!
 //! The sharding contract (see `crates/core/src/pipeline/execution.rs`):
-//! for **any** shard count, a replica produces byte-identical ledger
-//! entries, KV digests, receipts and outputs to a fully serial replica
-//! driven by the same schedule — sharding is a local parallelism knob,
-//! never a consensus parameter. This harness proves it differentially:
-//! proptest-generated SmallBank schedules, with a conflict-skew parameter
-//! sweeping hot-key contention from 0% (footprints almost never overlap —
-//! maximal grouping) to 100% (every transaction fights over
+//! for **any** shard count and **any** worker-pool size, a replica
+//! produces byte-identical ledger entries, KV digests, receipts and
+//! outputs to a fully serial replica driven by the same schedule —
+//! sharding and the pool are local parallelism knobs, never consensus
+//! parameters. This harness proves it differentially: proptest-generated
+//! SmallBank schedules, with a conflict-skew parameter sweeping hot-key
+//! contention from 0% (footprints almost never overlap — maximal
+//! grouping) to 100% (every transaction fights over
 //! [`ia_ccf_smallbank::HOT_ACCOUNTS`] keys — groups collapse toward
-//! serial), executed on sharded clusters (shards ∈ {2, 8}) and a serial
-//! cluster (shards = 1) from the same seed. On top of byte equality, the
-//! sharded replica's ledger must replay **clean through the auditor**
-//! (which re-executes on a plain single store) — the end-to-end proof
-//! that audit replay cannot tell sharded execution happened.
+//! serial), executed on sharded clusters (shards ∈ {2, 8}, pool threads
+//! ∈ {1, 2, 8}) and a serial cluster (shards = 1, pool = 1) from the
+//! same seed. On top of byte equality, the sharded replica's ledger must
+//! replay **clean through the auditor** (which re-executes on a plain
+//! single store) — the end-to-end proof that audit replay cannot tell
+//! parallel execution happened.
 
 use std::sync::Arc;
 
@@ -39,10 +41,15 @@ struct Observed {
     outputs: Vec<(bool, Vec<u8>)>,
 }
 
-/// Drive one cluster with `shards` through `ops` and collect everything
-/// observable; also audit the resulting ledger against the receipts.
-fn run(shards: usize, ops: &[WorkloadOp]) -> Observed {
-    let spec = ClusterSpec::new(4, N_CLIENTS, ProtocolParams::default()).with_shards(shards);
+/// Drive one cluster with `shards` shards and `pool` worker-pool threads
+/// through `ops` and collect everything observable; also audit the
+/// resulting ledger against the receipts. The second return is the total
+/// number of tasks the replicas' worker pools executed — zero proves a
+/// run stayed fully inline, non-zero proves the pool engaged.
+fn run(shards: usize, pool: usize, ops: &[WorkloadOp]) -> (Observed, u64) {
+    let spec = ClusterSpec::new(4, N_CLIENTS, ProtocolParams::default())
+        .with_shards(shards)
+        .with_pool_threads(pool);
     let mut cluster = DetCluster::new(&spec, Arc::new(SmallBankApp));
     let mut seed_kv = ia_ccf::kv::KvStore::new();
     populate(&mut seed_kv, ACCOUNTS, INITIAL);
@@ -97,16 +104,20 @@ fn run(shards: usize, ops: &[WorkloadOp]) -> Observed {
         );
         kv_digests.push(*replica.kv().digest().as_bytes());
     }
-    Observed {
-        ledgers,
-        kv_digests,
-        receipts: cluster
-            .finished
-            .iter()
-            .map(|(_, tx)| tx.receipt.as_ref().expect("receipt").to_bytes())
-            .collect(),
-        outputs: cluster.finished.iter().map(|(_, tx)| (tx.ok, tx.output.clone())).collect(),
-    }
+    let pool_tasks = (0..n).map(|r| cluster.replica(ReplicaId(r)).pool().tasks_completed()).sum();
+    (
+        Observed {
+            ledgers,
+            kv_digests,
+            receipts: cluster
+                .finished
+                .iter()
+                .map(|(_, tx)| tx.receipt.as_ref().expect("receipt").to_bytes())
+                .collect(),
+            outputs: cluster.finished.iter().map(|(_, tx)| (tx.ok, tx.output.clone())).collect(),
+        },
+        pool_tasks,
+    )
 }
 
 fn schedule(seed: u64, skew_pct: u8, len: usize) -> Vec<WorkloadOp> {
@@ -114,30 +125,64 @@ fn schedule(seed: u64, skew_pct: u8, len: usize) -> Vec<WorkloadOp> {
     (0..len).map(|_| w.next_op()).collect()
 }
 
-/// The acceptance-criteria sweep: shards ∈ {1, 2, 8} at representative
-/// skews, fixed seed — byte-identical everything.
+/// The acceptance-criteria sweep: (shards, pool threads) combinations at
+/// representative skews, fixed seed — byte-identical everything. The
+/// pool dimension includes pool > shards (the pool, not the shard count,
+/// caps execution workers), pool < shards, and pool = 1 (every parallel
+/// path degenerates to today's inline behaviour).
 #[test]
 fn shard_sweep_is_byte_identical_across_skews() {
     for skew in [0u8, 50, 100] {
         let ops = schedule(4242 + skew as u64, skew, 32);
-        let serial = run(1, &ops);
+        let (serial, serial_tasks) = run(1, 1, &ops);
+        assert_eq!(serial_tasks, 0, "a 1-thread pool must never dispatch tasks");
         assert!(!serial.ledgers[0].is_empty(), "schedule produced no entries");
         assert_eq!(serial.receipts.len(), ops.len());
-        for shards in [2usize, 8] {
-            let sharded = run(shards, &ops);
+        for (shards, pool) in [(2usize, 2usize), (8, 8), (2, 8), (8, 2), (8, 1)] {
+            let (parallel, tasks) = run(shards, pool, &ops);
             assert_eq!(
-                sharded, serial,
-                "skew {skew}%: {shards}-shard run diverged from serial"
+                parallel, serial,
+                "skew {skew}%: ({shards} shards, {pool} pool threads) diverged from serial"
             );
+            if pool > 1 {
+                assert!(
+                    tasks > 0,
+                    "skew {skew}%: ({shards} shards, {pool} pool threads) never engaged the pool"
+                );
+            } else {
+                assert_eq!(tasks, 0, "a 1-thread pool must never dispatch tasks");
+            }
         }
     }
+}
+
+/// More conflict-free groups than shards: with 12 accounts at skew 0 a
+/// batch regularly splits into more disjoint groups than a 2-shard store
+/// has shards. The worker count is derived from the pool (8 threads),
+/// not capped at the shard count — and the artifacts still match serial.
+#[test]
+fn more_groups_than_shards_uses_pool_and_stays_identical() {
+    // Disjoint deposits: every tx touches exactly one distinct account,
+    // so a 4-tx batch forms 4 singleton groups > 2 shards.
+    let amount = 25i64.to_le_bytes();
+    let ops: Vec<WorkloadOp> = (0..24u64)
+        .map(|i| WorkloadOp {
+            proc: ia_ccf_smallbank::DEPOSIT,
+            args: [(i % ACCOUNTS).to_le_bytes().as_slice(), &amount].concat(),
+        })
+        .collect();
+    let (serial, _) = run(1, 1, &ops);
+    let (parallel, tasks) = run(2, 8, &ops);
+    assert_eq!(parallel, serial, "(2 shards, 8 pool threads) diverged from serial");
+    assert!(tasks > 0, "the pool must engage when groups exceed the shard count");
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
-    /// Random schedules and skews: sharded (2 and 8) ≡ serial, and the
-    /// sharded ledger audits clean (asserted inside `run`).
+    /// Random schedules and skews: sharded (2 and 8, pool = shards) ≡
+    /// serial, and the sharded ledger audits clean (asserted inside
+    /// `run`).
     #[test]
     fn differential_sharded_vs_serial(
         seed in any::<u64>(),
@@ -145,11 +190,11 @@ proptest! {
         len in 8..36usize,
     ) {
         let ops = schedule(seed, skew, len);
-        let serial = run(1, &ops);
+        let (serial, _) = run(1, 1, &ops);
         for shards in [2usize, 8] {
-            let sharded = run(shards, &ops);
+            let (parallel, _) = run(shards, shards, &ops);
             prop_assert_eq!(
-                &sharded, &serial,
+                &parallel, &serial,
                 "seed {} skew {}% len {}: {} shards diverged", seed, skew, len, shards
             );
         }

@@ -1,0 +1,151 @@
+//! The persistent worker pool's replica-facing contract.
+//!
+//! Two properties beyond the pool crate's own unit tests:
+//!
+//! 1. **Lifecycle**: the pool's worker threads live exactly as long as
+//!    the replica that owns them — dropping the replica joins every
+//!    worker and the `live_pool_threads` gauge reads zero (no leaked
+//!    threads across replica restarts).
+//!
+//! 2. **Cross-batch prewarm determinism**: a backup that receives
+//!    pre-prepares *out of order* stashes the future batch and — on a
+//!    multi-thread pool — starts verifying its client signatures on the
+//!    pool while the current batch executes. That overlap is a pure
+//!    latency optimisation: the ledger bytes and KV digest must be
+//!    byte-identical to an in-order delivery of the very same messages.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ia_ccf::core::app::CounterApp;
+use ia_ccf::core::{Input, NodeId, Output, ProtocolParams, Replica};
+use ia_ccf_sim::ClusterSpec;
+use ia_ccf_types::{
+    LedgerEntry, LedgerIdx, ProtocolMsg, Request, RequestAction, SignedRequest, Wire,
+};
+
+#[test]
+fn dropping_the_replica_joins_pool_workers_and_gauge_reads_zero() {
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default()).with_pool_threads(4);
+    let replica = spec.build_replica(0, Arc::new(CounterApp));
+    assert_eq!(replica.pool().threads(), 4);
+    assert_eq!(replica.pool().live_pool_threads(), 4, "all workers must be up");
+    let gauge = replica.pool().thread_gauge();
+    drop(replica);
+    assert_eq!(
+        gauge.load(Ordering::SeqCst),
+        0,
+        "dropping the replica must join every pool worker"
+    );
+}
+
+/// The wire bytes of every `⟨t, i, o⟩` entry in a replica's ledger.
+fn tx_entries(r: &Replica) -> Vec<Vec<u8>> {
+    r.ledger()
+        .entries()
+        .iter()
+        .filter(|e| matches!(e, LedgerEntry::Tx(_)))
+        .map(|e| e.to_bytes())
+        .collect()
+}
+
+fn collect_pps(outs: Vec<Output>, pps: &mut Vec<ProtocolMsg>) {
+    for out in outs {
+        if let Output::BroadcastReplicas(msg @ ProtocolMsg::PrePrepare { .. }) = out {
+            pps.push(msg);
+        }
+    }
+}
+
+/// Hand-drive a primary into emitting two pipelined pre-prepares, then
+/// deliver them to a backup either in order or reversed. Returns the
+/// backup's tx ledger bytes, its KV digest and its pool task counter.
+fn drive(deliver_reversed: bool) -> (Vec<Vec<u8>>, [u8; 32], u64) {
+    let spec = ClusterSpec::new(4, 1, ProtocolParams::default()).with_pool_threads(4);
+    let app = Arc::new(CounterApp);
+    let mut primary = spec.build_replica(0, Arc::clone(&app) as _);
+    let mut backup = spec.build_replica(1, app as _);
+    let gt = primary.gt_hash();
+    let (client, kp) = (spec.clients[0].0, &spec.clients[0].1);
+
+    let reqs: Vec<SignedRequest> = (0..8u64)
+        .map(|i| {
+            SignedRequest::sign(
+                Request {
+                    action: RequestAction::App {
+                        proc: CounterApp::INCR,
+                        args: format!("k{i}").into_bytes(),
+                    },
+                    client,
+                    gt_hash: gt,
+                    min_index: LedgerIdx(0),
+                    req_id: i + 1,
+                },
+                kp,
+            )
+        })
+        .collect();
+
+    // Two batches of four: feed the requests, tick until the batch timer
+    // proposes. The evidence gate allows both (pipeline depth ≥ 2), so
+    // the primary ends up with two outstanding pre-prepares.
+    let mut pps: Vec<ProtocolMsg> = Vec::new();
+    for half in reqs.chunks(4) {
+        for r in half {
+            let outs = primary.handle(Input::Message {
+                from: NodeId::Client(client),
+                msg: ProtocolMsg::Request(r.clone()),
+            });
+            collect_pps(outs, &mut pps);
+        }
+        let want = pps.len() + 1;
+        for _ in 0..5 {
+            if pps.len() >= want {
+                break;
+            }
+            let outs = primary.handle(Input::Tick);
+            collect_pps(outs, &mut pps);
+        }
+    }
+    assert_eq!(pps.len(), 2, "primary must pipeline two pre-prepares");
+
+    // The backup learns the request bodies (client broadcast), then the
+    // pre-prepares arrive in the chosen order.
+    for r in &reqs {
+        backup.handle(Input::Message {
+            from: NodeId::Client(client),
+            msg: ProtocolMsg::Request(r.clone()),
+        });
+    }
+    assert!(tx_entries(&backup).is_empty(), "requests alone must not execute");
+    let order: [usize; 2] = if deliver_reversed { [1, 0] } else { [0, 1] };
+    for (step, i) in order.into_iter().enumerate() {
+        backup.handle(Input::Message {
+            from: NodeId::Replica(primary.id()),
+            msg: pps[i].clone(),
+        });
+        if deliver_reversed && step == 0 {
+            // The future pre-prepare is stashed: nothing executed yet.
+            // Processing batch 1 below prewarms this batch's signatures
+            // on the pool while batch 1 executes, and the stash retry
+            // harvests the results.
+            assert!(tx_entries(&backup).is_empty(), "future pp must stash, not execute");
+        }
+    }
+    let entries = tx_entries(&backup);
+    assert_eq!(entries.len(), reqs.len(), "both batches must be executed (ledgered)");
+    (entries, *backup.kv().digest().as_bytes(), backup.pool().tasks_completed())
+}
+
+#[test]
+fn out_of_order_preprepares_prewarm_on_pool_and_stay_byte_identical() {
+    let (in_order, digest_in_order, tasks_in_order) = drive(false);
+    let (reversed, digest_reversed, tasks_reversed) = drive(true);
+    assert_eq!(
+        reversed, in_order,
+        "out-of-order delivery (stash + prewarmed verification) changed ledger bytes"
+    );
+    assert_eq!(digest_reversed, digest_in_order, "KV digests diverged");
+    assert!(tasks_in_order > 0, "multi-thread backup must verify on the pool");
+    assert!(tasks_reversed > 0, "prewarmed backup must verify on the pool");
+}
