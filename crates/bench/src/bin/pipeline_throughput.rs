@@ -25,7 +25,15 @@
 //! pages/s and bytes/s to full recovery — the workload the resumable
 //! transfer protocol exists for.
 //!
-//! A fifth mode measures the *transport*: **c10k** stands up a real
+//! A fifth mode compares the two *recovery strategies*: **recovery**
+//! commits a window with checkpoints agreed every 5 sequence numbers,
+//! crashes a replica, then recovers a fresh instance twice over the
+//! identical history — once replaying from genesis (O(history) bytes)
+//! and once through the checkpoint fast path (verified `KvCheckpoint`
+//! transfer plus the ledger suffix, O(window) bytes). Both byte counts
+//! are deterministic, which is what the baseline fence keys on.
+//!
+//! A sixth mode measures the *transport*: **c10k** stands up a real
 //! 4-replica cluster over localhost TCP (the event-driven `ia_ccf_net::tcp`
 //! runtime), floods it with thousands of concurrent framed load
 //! connections from a single driver thread, and — while the storm runs —
@@ -44,10 +52,12 @@
 //!
 //! Knobs:
 //!
-//! * `--mode=all|refetch|sync|c10k` / `IACCF_MODE` — `refetch` runs only
-//!   the receipt-serving workload and writes
+//! * `--mode=all|refetch|sync|recovery|c10k` / `IACCF_MODE` — `refetch`
+//!   runs only the receipt-serving workload and writes
 //!   `target/experiments/pipeline_refetch.json`; `sync` runs only the
 //!   recovery workload and writes `target/experiments/pipeline_sync.json`;
+//!   `recovery` runs only the genesis-vs-checkpoint comparison and writes
+//!   `target/experiments/pipeline_recovery.json`;
 //!   `c10k` runs only the transport workload and writes
 //!   `target/experiments/pipeline_c10k.json`;
 //!   `all` (default) runs everything and writes the committed
@@ -90,6 +100,7 @@ struct BenchConfig {
     quick: bool,
     refetch_only: bool,
     sync_only: bool,
+    recovery_only: bool,
     c10k_only: bool,
 }
 
@@ -110,6 +121,7 @@ fn config() -> BenchConfig {
     let mode = knob_str("mode", "IACCF_MODE");
     let refetch_only = matches!(mode.as_deref(), Some("refetch"));
     let sync_only = matches!(mode.as_deref(), Some("sync"));
+    let recovery_only = matches!(mode.as_deref(), Some("recovery"));
     let c10k_only = matches!(mode.as_deref(), Some("c10k"));
     if quick {
         BenchConfig {
@@ -121,6 +133,7 @@ fn config() -> BenchConfig {
             quick,
             refetch_only,
             sync_only,
+            recovery_only,
             c10k_only,
         }
     } else {
@@ -133,6 +146,7 @@ fn config() -> BenchConfig {
             quick,
             refetch_only,
             sync_only,
+            recovery_only,
             c10k_only,
         }
     }
@@ -375,6 +389,122 @@ fn run_sync(batches: usize, batch_size: usize, accounts: u64) -> SyncResult {
 fn run_sync_quick() -> SyncResult {
     let (batches, batch_size, accounts) = QUICK_SYNC;
     run_sync(batches, batch_size, accounts)
+}
+
+/// Result of one recovery-comparison run pair: the same committed
+/// history recovered by a full genesis replay and by the checkpoint
+/// fast path.
+struct RecoveryResult {
+    genesis_pages: u64,
+    genesis_bytes: u64,
+    ckpt_pages: u64,
+    ckpt_bytes: u64,
+    /// Sequence number of the agreed checkpoint the fast path restored.
+    ckpt_seed: u64,
+}
+
+/// The quick-mode recovery workload — (commit rounds, round size,
+/// accounts). Shared by the CI smoke run, the `--mode=recovery` quick
+/// run and the full run's committed `quick_ref_recovery_*` references.
+/// Enough rounds that several checkpoints have their mark batches
+/// committed before the crash, and few enough accounts that the
+/// O(state) checkpoint stays visibly below the O(history) replay even
+/// at smoke scale.
+const QUICK_RECOVERY: (usize, usize, u64) = (24, 8, 100);
+
+/// The full-mode recovery workload. The account count is pinned low on
+/// purpose: the checkpoint transfer is O(state) = O(accounts) while the
+/// genesis replay is O(history) = O(transactions), so the separation the
+/// mode exists to demonstrate needs history ≫ state.
+const FULL_RECOVERY: (usize, usize, u64) = (40, 100, 1_000);
+
+/// The recovery comparison (`--mode=recovery`, also folded into the full
+/// run): commit `batches × batch_size` SmallBank transactions with
+/// checkpoints agreed every 5 sequence numbers, crash replica 3, then
+/// recover a fresh instance twice over the identical history — once with
+/// the checkpoint fast path disabled (full replay from genesis) and once
+/// enabled (verified `KvCheckpoint` transfer + ledger suffix pages).
+/// Both transfers are deterministic byte counts, which is what the
+/// baseline fence keys on — a change that silently re-inflates recovery
+/// to O(history) shifts the ratio far outside the envelope.
+fn run_recovery(batches: usize, batch_size: usize, accounts: u64) -> RecoveryResult {
+    let run = |fast_path: bool| -> ia_ccf_core::SyncReport {
+        let n_clients = 4;
+        let params = ProtocolParams {
+            sync_page_bytes: 16 * 1024,
+            ..ProtocolParams::default()
+        };
+        let spec =
+            ClusterSpec::new(4, n_clients, params).with_config(|c| c.checkpoint_interval = 5);
+        let mut cluster = DetCluster::new(&spec, Arc::new(ia_ccf_smallbank::SmallBankApp));
+        let mut seed_kv = ia_ccf_kv::KvStore::new();
+        ia_ccf_smallbank::populate(&mut seed_kv, accounts, 10_000);
+        let cp = seed_kv.checkpoint();
+        let ids: Vec<_> = cluster.replicas.keys().copied().collect();
+        for id in ids {
+            cluster.replicas.get_mut(&id).expect("replica").inner.prime_kv(&cp);
+        }
+        let mut workloads: Vec<ia_ccf_smallbank::Workload> = (0..n_clients)
+            .map(|i| ia_ccf_smallbank::Workload::with_skew(accounts, 13_000 + i as u64, 0))
+            .collect();
+        let mut done = 0;
+        for _ in 0..batches {
+            for k in 0..batch_size {
+                let ci = k % n_clients;
+                let op = workloads[ci].next_op();
+                cluster.submit(spec.clients[ci].0, op.proc, op.args);
+            }
+            done += batch_size;
+            assert!(cluster.run_until_finished(done, 2_000), "recovery warm-up stalled");
+        }
+
+        // The whole history is committed; now replica 3 dies and a fresh
+        // instance catches up from replica 0. The recoveree-side knob:
+        // with checkpoints disabled the tip phase never pins an offer
+        // and the sync replays from genesis.
+        cluster.crash(ReplicaId(3));
+        let mut params3 = spec.params.clone();
+        params3.checkpoints_enabled = fast_path;
+        let mut fresh =
+            spec.build_replica_with(3, Arc::new(ia_ccf_smallbank::SmallBankApp), params3);
+        fresh.prime_kv(&cp);
+        cluster.recover(fresh, ReplicaId(0));
+        assert!(
+            cluster.run_until(5_000, |c| c.replica(ReplicaId(3)).sync_report().complete),
+            "recovery did not complete (fast_path={fast_path}): {:?}",
+            cluster.replica(ReplicaId(3)).sync_report()
+        );
+        // Digest-level full-recovery check for both strategies (the
+        // byte-level differential lives in tests/durable_recovery.rs).
+        let (recovered, server) = (cluster.replica(ReplicaId(3)), cluster.replica(ReplicaId(0)));
+        assert_eq!(recovered.ledger().len(), server.ledger().len());
+        assert_eq!(recovered.ledger().root_m(), server.ledger().root_m());
+        assert_eq!(recovered.kv().digest(), server.kv().digest());
+        cluster.replica(ReplicaId(3)).sync_report()
+    };
+
+    let seeded = run(true);
+    let control = run(false);
+    assert!(seeded.checkpoint_seed.is_some(), "fast path must engage: {seeded:?}");
+    assert!(control.checkpoint_seed.is_none(), "control must replay from genesis: {control:?}");
+    assert!(
+        seeded.bytes * 2 < control.bytes,
+        "checkpoint + suffix must be far below a full replay: {} vs {}",
+        seeded.bytes,
+        control.bytes
+    );
+    RecoveryResult {
+        genesis_pages: control.pages,
+        genesis_bytes: control.bytes,
+        ckpt_pages: seeded.pages,
+        ckpt_bytes: seeded.bytes,
+        ckpt_seed: seeded.checkpoint_seed.expect("asserted above").0,
+    }
+}
+
+fn run_recovery_quick() -> RecoveryResult {
+    let (batches, batch_size, accounts) = QUICK_RECOVERY;
+    run_recovery(batches, batch_size, accounts)
 }
 
 /// Result of one transport (c10k) run.
@@ -793,6 +923,28 @@ fn main() {
         println!("[written {path}]");
         return;
     }
+    if cfg.recovery_only {
+        let (batches, batch_size, accounts) =
+            if cfg.quick { QUICK_RECOVERY } else { FULL_RECOVERY };
+        println!("=== pipeline_throughput --mode=recovery (4 replicas, SmallBank) ===");
+        let r = run_recovery(batches, batch_size, accounts);
+        println!(
+            "recovery: genesis_bytes={} ({} pages) ckpt_bytes={} ({} pages) ckpt_seed={}",
+            r.genesis_bytes, r.genesis_pages, r.ckpt_bytes, r.ckpt_pages, r.ckpt_seed
+        );
+        let _ = std::fs::create_dir_all("target/experiments");
+        let json = format!(
+            "{{\n  \"bench\": \"pipeline_throughput\",\n  \"mode\": \"recovery\",\n  \
+             \"quick\": {},\n  \"recovery_genesis_pages\": {},\n  \
+             \"recovery_genesis_bytes\": {},\n  \"recovery_ckpt_pages\": {},\n  \
+             \"recovery_ckpt_bytes\": {},\n  \"recovery_ckpt_seed\": {}\n}}\n",
+            cfg.quick, r.genesis_pages, r.genesis_bytes, r.ckpt_pages, r.ckpt_bytes, r.ckpt_seed
+        );
+        let path = "target/experiments/pipeline_recovery.json";
+        std::fs::write(path, json).expect("write bench json");
+        println!("[written {path}]");
+        return;
+    }
     if cfg.refetch_only {
         let (batches, batch_size, accounts, lookups) =
             if cfg.quick { QUICK_REFETCH } else { (40, 100, cfg.accounts, 200_000) };
@@ -833,6 +985,11 @@ fn main() {
         println!("refetch   (quick):    ops_s={refetch:.1}");
         let sync = run_sync_quick();
         println!("sync      (quick):    pages_s={:.1} bytes_s={:.1}", sync.pages_s, sync.bytes_s);
+        let recovery = run_recovery_quick();
+        println!(
+            "recovery  (quick):    genesis_bytes={} ckpt_bytes={} ckpt_seed={}",
+            recovery.genesis_bytes, recovery.ckpt_bytes, recovery.ckpt_seed
+        );
         let c10k = run_c10k_quick();
         println!(
             "c10k      (quick):    connections={} frames_s={:.1} threads={}",
@@ -848,10 +1005,18 @@ fn main() {
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"quick\": true,\n  \
              \"ops_per_sec\": {:.1},\n  \"refetch_ops_per_sec\": {refetch:.1},\n  \
              \"sync_bytes_per_sec\": {:.1},\n  \
+             \"recovery_genesis_bytes\": {},\n  \
+             \"recovery_ckpt_bytes\": {},\n  \
              \"c10k_frames_per_sec\": {:.1},\n  \
              \"pool_threads\": {},\n  \
              \"verify_sigs_per_sec\": {:.1}\n}}\n",
-            baseline.ops_s, sync.bytes_s, c10k.frames_s, verify.pool_threads, verify.pooled_sigs_s
+            baseline.ops_s,
+            sync.bytes_s,
+            recovery.genesis_bytes,
+            recovery.ckpt_bytes,
+            c10k.frames_s,
+            verify.pool_threads,
+            verify.pooled_sigs_s
         );
         ("target/experiments/pipeline_quick.json", json)
     } else {
@@ -870,6 +1035,20 @@ fn main() {
         println!(
             "sync      (recovery): pages={} bytes={} pages_s={:.1} bytes_s={:.1}",
             sync.pages, sync.bytes, sync.pages_s, sync.bytes_s
+        );
+        // The recovery-strategy comparison, at the full window size:
+        // genesis replay vs checkpoint-seeded fast path over identical
+        // histories (`--mode recovery`).
+        let (rec_batches, rec_size, rec_accounts) = FULL_RECOVERY;
+        let recovery = run_recovery(rec_batches, rec_size, rec_accounts);
+        println!(
+            "recovery  (ckpt):     genesis_bytes={} ({} pages) ckpt_bytes={} ({} pages) \
+             ckpt_seed={}",
+            recovery.genesis_bytes,
+            recovery.genesis_pages,
+            recovery.ckpt_bytes,
+            recovery.ckpt_pages,
+            recovery.ckpt_seed
         );
         // The transport path, at full scale (the 2,000-connection floor
         // is enforced here — a thread-per-connection transport cannot
@@ -897,6 +1076,7 @@ fn main() {
         let quick_ref = run_mode(5, 20, 1_000, 0, cfg.shards);
         let quick_refetch = run_refetch_quick();
         let quick_sync = run_sync_quick();
+        let quick_recovery = run_recovery_quick();
         let quick_c10k = run_c10k_quick();
         let quick_verify = run_verify(QUICK_VERIFY_JOBS);
         println!(
@@ -915,6 +1095,9 @@ fn main() {
              \"refetch_ops_per_sec\": {refetch:.1},\n  \
              \"sync_pages\": {},\n  \"sync_bytes\": {},\n  \
              \"sync_pages_per_sec\": {:.1},\n  \"sync_bytes_per_sec\": {:.1},\n  \
+             \"recovery_genesis_pages\": {},\n  \"recovery_genesis_bytes\": {},\n  \
+             \"recovery_ckpt_pages\": {},\n  \"recovery_ckpt_bytes\": {},\n  \
+             \"recovery_ckpt_seed\": {},\n  \
              \"c10k_connections\": {},\n  \"c10k_frames_per_sec\": {:.1},\n  \
              \"c10k_threads\": {},\n  \"c10k_rss_mb\": {:.1},\n  \
              \"c10k_protocol_commits\": {},\n  \
@@ -926,6 +1109,8 @@ fn main() {
              \"quick_ref_ops_per_sec\": {:.1},\n  \
              \"quick_ref_refetch_ops_per_sec\": {quick_refetch:.1},\n  \
              \"quick_ref_sync_bytes_per_sec\": {:.1},\n  \
+             \"quick_ref_recovery_genesis_bytes\": {},\n  \
+             \"quick_ref_recovery_ckpt_bytes\": {},\n  \
              \"quick_ref_c10k_frames_per_sec\": {:.1},\n  \
              \"quick_ref_verify_sigs_per_sec\": {:.1}\n}}\n",
             cfg.batches,
@@ -942,6 +1127,11 @@ fn main() {
             sync.bytes,
             sync.pages_s,
             sync.bytes_s,
+            recovery.genesis_pages,
+            recovery.genesis_bytes,
+            recovery.ckpt_pages,
+            recovery.ckpt_bytes,
+            recovery.ckpt_seed,
             c10k.connections,
             c10k.frames_s,
             c10k.threads,
@@ -954,6 +1144,8 @@ fn main() {
             verify.pool4_tasks,
             quick_ref.ops_s,
             quick_sync.bytes_s,
+            quick_recovery.genesis_bytes,
+            quick_recovery.ckpt_bytes,
             quick_c10k.frames_s,
             quick_verify.pooled_sigs_s
         );

@@ -25,23 +25,38 @@
 //! per continuation point and resumes, so partially-applied state is
 //! never corrupted.
 //!
-//! (We replay from genesis rather than from a checkpoint snapshot: the
-//! checkpoint fast-path is an optimization the paper uses for multi-GB
-//! ledgers; correctness-wise replay-from-genesis is the stronger check and
-//! our simulated ledgers are small. The auditor *does* implement
-//! checkpoint-based replay, §4.1, where it is load-bearing.)
+//! A recovery sync opens with a **tip query** ([`SyncPhase::TipQuery`]):
+//! the recoveree broadcasts `FetchLedgerTip` and waits for `f + 1`
+//! replies. The `(f+1)`-th largest claimed committed tip is then a floor
+//! at least one honest replica vouches for, and the final `done` page is
+//! only accepted once the applied frontier has passed it — a lying
+//! server advertising an early `done` cannot freeze the recoveree short
+//! of the real tip (it is abandoned like any other misbehaviour). Tip
+//! replies also carry each replica's newest agreed checkpoint; when
+//! `f + 1` of them pin the *same* `(seq, kv digest, tree root)` triple, a
+//! fresh recoveree takes the **checkpoint fast-path**
+//! ([`SyncPhase::Checkpoint`], §3.4): it fetches the KV snapshot plus the
+//! ledger-tree frontier, verifies both against the pinned digests and the
+//! checkpoint batch's signed pre-prepare, restores, and then pages only
+//! the ledger *suffix* — O(window) I/O instead of O(history) replay. Any
+//! verification failure or refusal falls back to paged replay from
+//! genesis, which remains the stronger (and always-available) check.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use ia_ccf_governance::chain::GovLink;
+use ia_ccf_kv::KvCheckpoint;
 use ia_ccf_ledger::segment::{segment_complete_prefix, segment_entries, Segment};
+use ia_ccf_ledger::Ledger;
+use ia_ccf_merkle::{Frontier, MerkleTree};
 use ia_ccf_types::{
     BatchCertificate, ClientId, Configuration, Digest, LedgerEntry, PrePrepare, ProtocolMsg,
     PublicKey, Receipt, ReceiptBody, ReplicaId, SeqNum, SignedRequest, TxWitness, Wire,
 };
 
 use crate::app::App;
+use crate::checkpoint::CheckpointRecord;
 use crate::events::Output;
 use crate::params::ProtocolParams;
 use crate::pipeline::BatchMark;
@@ -88,10 +103,50 @@ pub(crate) enum SyncPurpose {
     ViewChange,
 }
 
+/// Where a recovery sync currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SyncPhase {
+    /// Broadcasting `FetchLedgerTip` and collecting claims; nothing is
+    /// applied yet.
+    TipQuery,
+    /// An `f + 1`-pinned checkpoint offer is being fetched and verified.
+    Checkpoint,
+    /// Paged replay toward the (verified) tip.
+    Paging,
+}
+
+/// One replica's answer to the tip query.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TipClaim {
+    /// Claimed committed tip.
+    pub tip: SeqNum,
+    /// Claimed newest offerable checkpoint, if any.
+    pub cp: Option<TipCheckpoint>,
+}
+
+/// A checkpoint offer as pinned by tip replies: `f + 1` identical triples
+/// mean at least one honest replica holds exactly this agreed checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TipCheckpoint {
+    pub seq: SeqNum,
+    pub kv_digest: Digest,
+    pub tree_root: Digest,
+}
+
 /// Requester side of the paged `FetchLedgerPage` protocol.
 #[derive(Debug, Clone)]
 pub(crate) struct LedgerSyncState {
     pub purpose: SyncPurpose,
+    /// Phase of a recovery sync (view-change syncs page immediately).
+    pub phase: SyncPhase,
+    /// Tip claims collected during [`SyncPhase::TipQuery`].
+    pub tip_claims: BTreeMap<ReplicaId, TipClaim>,
+    /// The `(f+1)`-th largest claimed tip: a floor at least one honest
+    /// replica vouches for. The final `done` is rejected until the
+    /// applied frontier passes it.
+    pub verified_tip: Option<SeqNum>,
+    /// The checkpoint offer being fetched during [`SyncPhase::Checkpoint`].
+    pub pinned_cp: Option<TipCheckpoint>,
     /// The replica currently serving pages.
     pub server: ReplicaId,
     /// Continuation token: the batch sequence number the next page must
@@ -132,6 +187,10 @@ pub struct SyncReport {
     pub tail_rollbacks: u64,
     /// Whether the sync ran to completion.
     pub complete: bool,
+    /// `Some(seq)` when the sync restored the agreed checkpoint at `seq`
+    /// and paged only the ledger suffix (the §3.4 fast-path); `None` for
+    /// a genesis replay.
+    pub checkpoint_seed: Option<SeqNum>,
 }
 
 impl Replica {
@@ -301,16 +360,22 @@ impl Replica {
     // Paged state transfer (requester side).
     // ------------------------------------------------------------------
 
-    /// Start a full recovery sync from `server`: request pages from the
-    /// first sequence number this replica has not applied, replay them
-    /// incrementally, and fail over to other replicas on timeout or
-    /// misbehaviour. While the sync runs the replica processes only page
-    /// responses (state transfer, not consensus). Returns the outputs to
-    /// route (the first page request).
+    /// Start a full recovery sync from `server`: query the cluster tip,
+    /// optionally restore an `f + 1`-pinned checkpoint, then request
+    /// pages from the first sequence number this replica has not
+    /// applied, replay them incrementally, and fail over to other
+    /// replicas on timeout or misbehaviour. While the sync runs the
+    /// replica processes only sync responses (state transfer, not
+    /// consensus). Returns the outputs to route (the tip query
+    /// broadcast).
     pub fn begin_ledger_sync(&mut self, server: ReplicaId) -> Vec<Output> {
         self.sync_report = SyncReport::default();
         self.ledger_sync = Some(LedgerSyncState {
             purpose: SyncPurpose::Recovery,
+            phase: SyncPhase::TipQuery,
+            tip_claims: BTreeMap::new(),
+            verified_tip: None,
+            pinned_cp: None,
             server,
             from_seq: self.seq_next,
             buffered: Vec::new(),
@@ -319,8 +384,307 @@ impl Replica {
             rolled_back_at: None,
             paused: false,
         });
-        self.request_sync_page();
+        self.broadcast_tip_query();
         std::mem::take(&mut self.out)
+    }
+
+    /// The active-configuration peers a sync can talk to.
+    fn sync_peers(&self) -> Vec<ReplicaId> {
+        let config = self.gov.active();
+        (0..config.n())
+            .filter_map(|rank| config.replica_at_rank(rank).map(|r| r.id))
+            .filter(|id| *id != self.id)
+            .collect()
+    }
+
+    /// (Re-)broadcast the tip query to every active peer.
+    fn broadcast_tip_query(&mut self) {
+        if let Some(state) = self.ledger_sync.as_mut() {
+            state.last_page_tick = self.tick;
+        }
+        for id in self.sync_peers() {
+            self.send_replica(id, ProtocolMsg::FetchLedgerTip);
+        }
+    }
+
+    /// One `LedgerTipResponse` arrived during the tip-query phase.
+    pub(crate) fn on_ledger_tip(
+        &mut self,
+        sender: ReplicaId,
+        tip: SeqNum,
+        cp_seq: SeqNum,
+        cp_kv_digest: Digest,
+        cp_tree_root: Digest,
+    ) {
+        let n_peers = self.sync_peers().len();
+        let Some(state) = self.ledger_sync.as_mut() else {
+            return;
+        };
+        if state.purpose != SyncPurpose::Recovery || state.phase != SyncPhase::TipQuery {
+            return;
+        }
+        let cp = (cp_seq.0 > 0).then_some(TipCheckpoint {
+            seq: cp_seq,
+            kv_digest: cp_kv_digest,
+            tree_root: cp_tree_root,
+        });
+        state.tip_claims.insert(sender, TipClaim { tip, cp });
+        if state.tip_claims.len() >= n_peers {
+            self.finalize_tip_phase();
+        }
+    }
+
+    /// Close the tip-query phase: pin the verified tip, pick the
+    /// checkpoint fast-path if `f + 1` replies agree on one, else start
+    /// paging. No-op until `f + 1` claims are in (the tick timeout
+    /// re-broadcasts).
+    fn finalize_tip_phase(&mut self) {
+        let f = self.gov.active().f();
+        let fresh = self.seq_next == SeqNum(1);
+        let checkpoints_ok = self.params.checkpoints_enabled;
+        let Some(state) = self.ledger_sync.as_mut() else {
+            return;
+        };
+        let mut tips: Vec<SeqNum> = state.tip_claims.values().map(|c| c.tip).collect();
+        if tips.len() < f + 1 {
+            return;
+        }
+        // The (f+1)-th largest claim: at most f liars can sit above it,
+        // so at least one honest replica committed this far. Liars
+        // under-claiming only lower the floor (benign — the per-server
+        // `done` checks still apply); they cannot raise it.
+        tips.sort_unstable_by(|a, b| b.cmp(a));
+        let verified = tips[f];
+        state.verified_tip = Some(verified);
+        // Checkpoint fast-path: only for a fresh recoveree (a replica
+        // with an applied prefix keeps it and pages the remainder), and
+        // only when f + 1 replies pin the *same* (seq, kv digest, tree
+        // root) — then at least one honest replica holds exactly this
+        // agreed checkpoint. Highest such seq wins.
+        let mut best: Option<TipCheckpoint> = None;
+        if fresh && checkpoints_ok {
+            let cps: Vec<TipCheckpoint> = state.tip_claims.values().filter_map(|c| c.cp).collect();
+            for cp in &cps {
+                let votes = cps.iter().filter(|o| *o == cp).count();
+                if votes > f && best.is_none_or(|b| cp.seq > b.seq) {
+                    best = Some(*cp);
+                }
+            }
+        }
+        match best {
+            Some(cp) => {
+                // Fetch from a replica that actually claimed this offer
+                // (prefer the current server).
+                let claimers: Vec<ReplicaId> = state
+                    .tip_claims
+                    .iter()
+                    .filter(|(_, c)| c.cp == Some(cp))
+                    .map(|(id, _)| *id)
+                    .collect();
+                let server = claimers
+                    .iter()
+                    .find(|id| **id == state.server)
+                    .or_else(|| claimers.first())
+                    .copied()
+                    .expect("f+1 > 0 claimers");
+                state.phase = SyncPhase::Checkpoint;
+                state.pinned_cp = Some(cp);
+                state.server = server;
+                state.last_page_tick = self.tick;
+                self.send_replica(server, ProtocolMsg::FetchCheckpoint { seq: cp.seq });
+            }
+            None => {
+                state.phase = SyncPhase::Paging;
+                state.from_seq = self.seq_next;
+                self.request_sync_page();
+            }
+        }
+    }
+
+    /// One `FetchCheckpointResponse` arrived during the checkpoint phase.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_checkpoint_payload(
+        &mut self,
+        sender: ReplicaId,
+        seq: SeqNum,
+        kv_bytes: Vec<u8>,
+        frontier: Vec<u8>,
+        ledger_len: u64,
+        next_tx_index: u64,
+        seed_entries: Vec<Vec<u8>>,
+    ) {
+        let Some(state) = &self.ledger_sync else {
+            return;
+        };
+        if state.purpose != SyncPurpose::Recovery
+            || state.phase != SyncPhase::Checkpoint
+            || state.server != sender
+        {
+            return;
+        }
+        let Some(pinned) = state.pinned_cp else {
+            return;
+        };
+        self.sync_report.bytes += kv_bytes.len() as u64
+            + frontier.len() as u64
+            + seed_entries.iter().map(|e| e.len() as u64).sum::<u64>();
+        if seq != pinned.seq {
+            return self.sync_failover("checkpoint payload for a different seq");
+        }
+        if kv_bytes.is_empty() {
+            // Honest refusal (the record aged out, or the server cannot
+            // vouch for a single-configuration history): page from
+            // genesis on the same server.
+            let state = self.ledger_sync.as_mut().expect("sync running");
+            state.phase = SyncPhase::Paging;
+            state.pinned_cp = None;
+            state.from_seq = self.seq_next;
+            state.last_page_tick = self.tick;
+            return self.request_sync_page();
+        }
+        match self.verify_and_restore_checkpoint(
+            pinned,
+            &kv_bytes,
+            &frontier,
+            ledger_len,
+            next_tx_index,
+            &seed_entries,
+        ) {
+            Ok(()) => {
+                self.sync_report.checkpoint_seed = Some(pinned.seq);
+                self.note_progress();
+                let state = self.ledger_sync.as_mut().expect("sync running");
+                state.phase = SyncPhase::Paging;
+                state.pinned_cp = None;
+                state.from_seq = self.seq_next;
+                state.last_page_tick = self.tick;
+                self.request_sync_page();
+            }
+            Err(why) => self.sync_failover(&format!("checkpoint rejected: {why}")),
+        }
+    }
+
+    /// Verify a checkpoint payload against the `f + 1`-pinned digests and
+    /// the checkpoint batch's signed pre-prepare, then restore: the KV
+    /// store becomes the snapshot, the ledger becomes a suffix ledger
+    /// seeded with the frontier plus the checkpoint batch's own entries,
+    /// and the protocol frontiers move to the checkpoint's sequence
+    /// number. Paged replay then covers only the suffix.
+    ///
+    /// Nothing mutates until every check has passed, so a rejected
+    /// payload leaves the recoveree exactly where it was (free to fail
+    /// over or fall back to genesis replay).
+    fn verify_and_restore_checkpoint(
+        &mut self,
+        pinned: TipCheckpoint,
+        kv_bytes: &[u8],
+        frontier_bytes: &[u8],
+        ledger_len: u64,
+        next_tx_index: u64,
+        seed_entries: &[Vec<u8>],
+    ) -> Result<(), &'static str> {
+        let cp = KvCheckpoint::from_bytes(kv_bytes).ok_or("undecodable KV checkpoint")?;
+        if !cp.verify_integrity() {
+            return Err("KV digest lies about contents");
+        }
+        if cp.digest() != pinned.kv_digest {
+            return Err("KV digest differs from the pinned digest");
+        }
+        let frontier = Frontier::from_bytes(frontier_bytes).ok_or("undecodable frontier")?;
+        if frontier.root() != pinned.tree_root {
+            return Err("frontier root differs from the pinned root");
+        }
+        // The seed is the checkpoint batch's own [pre-prepare, tx*] run —
+        // the record's (ledger_len, frontier) were captured just before
+        // these entries were appended, so the restored ledger needs them
+        // to end exactly at the checkpointed execution state.
+        let mut decoded = Vec::with_capacity(seed_entries.len());
+        for bytes in seed_entries {
+            decoded.push(LedgerEntry::from_bytes(bytes).map_err(|_| "undecodable seed entry")?);
+        }
+        let Some((LedgerEntry::PrePrepare(pp), tail)) = decoded.split_first() else {
+            return Err("seed does not start with the checkpoint pre-prepare");
+        };
+        let pp = pp.clone();
+        if pp.seq() != pinned.seq {
+            return Err("seed pre-prepare is not the checkpoint batch");
+        }
+        // The pinned tree root doubles as the batch's pre-state root: the
+        // checkpoint frontier was captured at the same instant root_m was,
+        // chaining the snapshot to the signed history.
+        if pp.core.root_m != pinned.tree_root {
+            return Err("seed pre-prepare root_m differs from the pinned root");
+        }
+        // Signature under the active configuration (the fast-path is
+        // only offered for single-configuration histories).
+        let config = self.gov.active().clone();
+        let payload = PrePrepare::signing_payload(&pp.core, &pp.root_g);
+        let sig_ok = config
+            .replica_key(pp.core.primary)
+            .map(|k| k.verify(&payload, &pp.sig))
+            .unwrap_or(false);
+        if !sig_ok || config.primary_of(pp.view()) != pp.core.primary {
+            return Err("seed pre-prepare signature invalid");
+        }
+        // The transaction run must carry contiguous indices ending at the
+        // checkpoint's counter, and must reproduce the signed Ḡ.
+        let base_index = next_tx_index
+            .checked_sub(tail.len() as u64)
+            .ok_or("seed transaction count exceeds the index counter")?;
+        let mut leaves = Vec::with_capacity(tail.len());
+        for (pos, entry) in tail.iter().enumerate() {
+            let LedgerEntry::Tx(tx) = entry else {
+                return Err("seed entry after the pre-prepare is not a transaction");
+            };
+            if tx.index.0 != base_index + pos as u64 {
+                return Err("seed transaction indices not contiguous");
+            }
+            leaves.push(ia_ccf_types::entry::g_leaf_hash(
+                &tx.request.digest(),
+                tx.index,
+                &tx.result,
+            ));
+        }
+        if MerkleTree::from_leaves(leaves).root() != pp.root_g {
+            return Err("seed transaction run does not reproduce Ḡ");
+        }
+
+        // ---- everything verified: restore ----
+        self.kv.restore(&cp);
+        let mut ledger = Ledger::from_checkpoint(ledger_len, frontier.clone());
+        for entry in &decoded {
+            ledger.append(entry.clone());
+        }
+        self.ledger = ledger;
+        self.next_tx_index = next_tx_index;
+        self.seq_next = pinned.seq.next();
+        self.prepared_up_to = pinned.seq;
+        self.committed_up_to = pinned.seq;
+        self.view = pp.view().max(self.view);
+        self.prepared_view.insert(pinned.seq, pp.view());
+        let mut digests = Vec::with_capacity(tail.len());
+        for entry in tail {
+            let LedgerEntry::Tx(tx) = entry else {
+                unreachable!("checked above");
+            };
+            let digest = tx.request.digest();
+            self.req_store.insert(digest, tx.request.clone());
+            self.executed_reqs.insert(digest);
+            digests.push(digest);
+        }
+        self.msgs.put_pp(pp, digests);
+        // The restored record is this replica's own checkpoint at `seq`:
+        // the in-band mark batch at `seq + C` validates against it while
+        // the suffix replays, and later audits can start from it.
+        self.cp_digests.insert(pinned.seq, cp.digest());
+        self.checkpoints.insert(CheckpointRecord {
+            seq: pinned.seq,
+            kv: cp,
+            frontier,
+            ledger_len,
+            next_tx_index,
+        });
+        Ok(())
     }
 
     /// Counters of the most recent (or running) ledger sync.
@@ -343,6 +707,10 @@ impl Replica {
         self.sync_report = SyncReport::default();
         self.ledger_sync = Some(LedgerSyncState {
             purpose: SyncPurpose::ViewChange,
+            phase: SyncPhase::Paging,
+            tip_claims: BTreeMap::new(),
+            verified_tip: None,
+            pinned_cp: None,
             server,
             from_seq,
             buffered: Vec::new(),
@@ -372,13 +740,25 @@ impl Replica {
         let Some(state) = &self.ledger_sync else {
             return;
         };
-        if self.tick.saturating_sub(state.last_page_tick) > self.params.sync_timeout_ticks {
-            if state.paused {
-                self.ledger_sync.as_mut().expect("sync running").paused = false;
-                self.request_sync_page();
+        if self.tick.saturating_sub(state.last_page_tick) <= self.params.sync_timeout_ticks {
+            return;
+        }
+        if state.phase == SyncPhase::TipQuery {
+            // Enough claims to pin a floor? Proceed with what arrived;
+            // otherwise ask again (peers may still be starting up).
+            let f = self.gov.active().f();
+            if state.tip_claims.len() > f {
+                self.finalize_tip_phase();
             } else {
-                self.sync_failover("page timeout");
+                self.broadcast_tip_query();
             }
+            return;
+        }
+        if state.paused {
+            self.ledger_sync.as_mut().expect("sync running").paused = false;
+            self.request_sync_page();
+        } else {
+            self.sync_failover("page timeout");
         }
     }
 
@@ -395,6 +775,9 @@ impl Replica {
         };
         if state.server != sender {
             return; // page from an abandoned server
+        }
+        if state.phase != SyncPhase::Paging {
+            return; // stale page while querying the tip or a checkpoint
         }
         let from_seq = state.from_seq;
         self.sync_report.pages += 1;
@@ -455,6 +838,13 @@ impl Replica {
         // is abandoned like any other misbehaviour.
         if !state.buffered.is_empty() || self.seq_next != next_seq {
             return self.sync_failover("done short of advertised continuation");
+        }
+        // The applied frontier must also pass the f+1-verified cluster
+        // tip: a lying server that advertises an early `done` (with a
+        // self-consistent continuation token) would otherwise freeze
+        // this replica short of the real history.
+        if state.verified_tip.is_some_and(|t| self.seq_next <= t) {
+            return self.sync_failover("done short of verified cluster tip");
         }
         let server = state.server;
         self.ledger_sync = None;
@@ -547,6 +937,12 @@ impl Replica {
         if crate::replica::debug_enabled() {
             eprintln!("[{}] sync: abandoning server {} ({why})", self.id, state.server);
         }
+        // A failed checkpoint fetch (or any misbehaviour mid-phase) falls
+        // back to paged replay; the verified tip and collected claims
+        // survive — only the pinned offer is dropped. The fast-path is
+        // not retried: paging is the always-available stronger check.
+        state.phase = SyncPhase::Paging;
+        state.pinned_cp = None;
         state.tried.insert(state.server);
         let config = self.gov.active().clone();
         let peers: Vec<ReplicaId> = (0..config.n())

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use ia_ccf_kv::{Key, KvAccess};
-use ia_ccf_types::{ClientId, ProcId, ProtocolMsg};
+use ia_ccf_types::{ClientId, LedgerEntry, ProcId, ProtocolMsg, SeqNum, Wire};
 
 use crate::app::{App, AppError};
 use crate::events::{Input, Output};
@@ -57,6 +57,18 @@ pub enum Fault {
     /// transfer would spin forever. The requester's progress check
     /// abandons the server on the first such page.
     StallLedgerPages,
+    /// Lie about the ledger tip during recovery: claim the history ends
+    /// at `claim`, truncate every served page at that batch (backing
+    /// over the next batch's evidence pair so the stream stays
+    /// structurally valid), and advertise a *self-consistent* `done` —
+    /// token and entries agree, so only a cross-check against other
+    /// replicas' tip claims can unmask it. Without that check a
+    /// recoveree syncing from this server freezes short of the real tip,
+    /// silently missing committed history.
+    LieAboutLedgerTip {
+        /// The sequence number the server pretends the ledger ends at.
+        claim: SeqNum,
+    },
 }
 
 /// A replica wrapper that applies a [`Fault`] to the outputs of an
@@ -145,6 +157,65 @@ impl ByzantineReplica {
                             done: false,
                         },
                     ),
+                    other => other,
+                })
+                .collect(),
+            Fault::LieAboutLedgerTip { claim } => outs
+                .into_iter()
+                .map(|o| match o {
+                    Output::SendReplica(
+                        to,
+                        ProtocolMsg::LedgerTipResponse { cp_kv_digest, cp_tree_root, .. },
+                    ) => Output::SendReplica(
+                        to,
+                        // Under-claim the tip and withhold any checkpoint
+                        // offer (an offer above the claim would expose
+                        // the lie immediately).
+                        ProtocolMsg::LedgerTipResponse {
+                            tip: claim,
+                            cp_seq: SeqNum(0),
+                            cp_kv_digest,
+                            cp_tree_root,
+                        },
+                    ),
+                    Output::SendReplica(
+                        to,
+                        ProtocolMsg::FetchLedgerPageResponse { entries, .. },
+                    ) => {
+                        // Cut the page at the first batch past the claim,
+                        // backing over its evidence pair, and close the
+                        // stream with a token matching the truncation.
+                        let decoded: Vec<LedgerEntry> = entries
+                            .iter()
+                            .map(|b| LedgerEntry::from_bytes(b).expect("own entries decode"))
+                            .collect();
+                        let mut cut = entries.len();
+                        for (i, e) in decoded.iter().enumerate() {
+                            let LedgerEntry::PrePrepare(pp) = e else { continue };
+                            if pp.seq() > claim {
+                                cut = i;
+                                while cut > 0
+                                    && matches!(
+                                        decoded[cut - 1],
+                                        LedgerEntry::Evidence { .. } | LedgerEntry::Nonces { .. }
+                                    )
+                                {
+                                    cut -= 1;
+                                }
+                                break;
+                            }
+                        }
+                        let mut entries = entries;
+                        entries.truncate(cut);
+                        Output::SendReplica(
+                            to,
+                            ProtocolMsg::FetchLedgerPageResponse {
+                                entries,
+                                next_seq: claim.next(),
+                                done: true,
+                            },
+                        )
+                    }
                     other => other,
                 })
                 .collect(),

@@ -81,6 +81,22 @@ pub struct ProtocolParams {
     /// fails over to another server. Also bounds how long a stalled or
     /// crashed page server can hold up recovery. **Local** knob.
     pub sync_timeout_ticks: u64,
+    /// Per-replica data directory for the durable ledger. `None` (the
+    /// default) keeps the ledger purely in memory — the seed behaviour,
+    /// and what the simulation harnesses use unless a test opts into
+    /// real disk. When set, every ledger append is mirrored into
+    /// append-only segment files under this directory and a crashed
+    /// replica can restart from them ([`crate::Replica::restart_from_dir`]).
+    /// **Local** knob: never visible in ledger bytes or digests.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// How many committed batches may accumulate between `fsync`s of the
+    /// durable ledger. `1` syncs after every batch (strongest durability,
+    /// most write amplification); larger values batch the flushes and
+    /// accept that a crash may lose up to that many tail batches — the
+    /// torn-tail repair at restart truncates whatever suffix did not
+    /// survive, and the replica re-pages it from its peers. **Local**
+    /// knob.
+    pub fsync_interval_batches: u64,
 }
 
 impl Default for ProtocolParams {
@@ -100,6 +116,8 @@ impl Default for ProtocolParams {
             exec_retention_batches: 64,
             sync_page_bytes: 1 << 20,
             sync_timeout_ticks: 8,
+            data_dir: None,
+            fsync_interval_batches: 1,
         }
     }
 }

@@ -18,9 +18,9 @@ use std::sync::Arc;
 
 use ia_ccf_governance::chain::GovLink;
 use ia_ccf_types::{
-    BatchCertificate, BatchKind, ClientId, Commit, Digest, LedgerIdx, Nonce, Prepare,
-    ProtocolMsg, Receipt, ReceiptBody, Reply, ReplyX, ReplicaBitmap, ReplicaId, SeqNum,
-    TxWitness, View,
+    BatchCertificate, BatchKind, ClientId, Commit, Digest, LedgerEntry, LedgerIdx, Nonce,
+    Prepare, ProtocolMsg, Receipt, ReceiptBody, Reply, ReplyX, ReplicaBitmap, ReplicaId,
+    SeqNum, TxWitness, View,
 };
 
 use crate::pipeline::BatchExec;
@@ -492,6 +492,109 @@ impl Replica {
         self.send_replica(
             sender,
             ProtocolMsg::FetchLedgerPageResponse { entries, next_seq, done },
+        );
+    }
+
+    /// Answer a [`ProtocolMsg::FetchLedgerTip`]: the committed frontier
+    /// this replica vouches for, plus its newest *offerable* checkpoint
+    /// (see [`Replica::offerable_checkpoint`]) — `cp_seq = 0` when there
+    /// is none. Recovering replicas collect `f + 1` of these to pin both
+    /// a tip floor and, when the claims agree, a checkpoint fast-path.
+    pub(crate) fn serve_ledger_tip(&mut self, sender: ReplicaId) {
+        let tip = self.committed_up_to;
+        let (cp_seq, cp_kv_digest, cp_tree_root) = match self.offerable_checkpoint() {
+            Some(r) => (r.seq, r.kv.digest(), r.frontier.root()),
+            None => (SeqNum(0), Digest::zero(), Digest::zero()),
+        };
+        self.send_replica(
+            sender,
+            ProtocolMsg::LedgerTipResponse { tip, cp_seq, cp_kv_digest, cp_tree_root },
+        );
+    }
+
+    /// The newest checkpoint this replica may offer a recoveree: its
+    /// digest must have been agreed in-band (the mark batch at `seq + C`
+    /// has committed), and the history must still be governed by the
+    /// genesis configuration with no governance receipts to hand over —
+    /// a checkpoint-seeded replica starts from a suffix and cannot
+    /// reconstruct either, so reconfigured or governed histories fall
+    /// back to full replay.
+    pub(crate) fn offerable_checkpoint(&self) -> Option<&crate::checkpoint::CheckpointRecord> {
+        if !self.params.checkpoints_enabled
+            || !self.gov_chain.is_empty()
+            || self.config_first_seq.len() != 1
+        {
+            return None;
+        }
+        // The newest checkpoint whose mark batch (at `seq + C`) has
+        // committed — a younger one exists but its digest is not yet
+        // agreed in-band, so it must not be offered.
+        let c = self.checkpoint_interval();
+        let agreed_floor = SeqNum(self.committed_up_to.0.saturating_sub(c));
+        let latest = self.checkpoints.latest_at_or_before(agreed_floor)?;
+        (latest.seq.0 > 0).then_some(latest)
+    }
+
+    /// Answer a [`ProtocolMsg::FetchCheckpoint`]: the KV snapshot, the
+    /// ledger-tree frontier, and the checkpoint batch's own
+    /// `[pre-prepare, tx*]` seed entries. An empty `kv_bytes` is an
+    /// honest refusal (the record aged out or is not offerable) — the
+    /// requester falls back to paging from genesis.
+    pub(crate) fn serve_checkpoint_fetch(&mut self, sender: ReplicaId, seq: SeqNum) {
+        let offer = self
+            .offerable_checkpoint()
+            .filter(|r| r.seq == seq)
+            .map(|r| (r.kv.to_bytes(), r.frontier.to_bytes(), r.ledger_len, r.next_tx_index));
+        let Some((kv_bytes, frontier, ledger_len, next_tx_index)) = offer else {
+            return self.send_replica(
+                sender,
+                ProtocolMsg::FetchCheckpointResponse {
+                    seq,
+                    kv_bytes: Vec::new(),
+                    frontier: Vec::new(),
+                    ledger_len: 0,
+                    next_tx_index: 0,
+                    seed_entries: Vec::new(),
+                },
+            );
+        };
+        // The record's prefix ends just before the checkpoint batch's own
+        // entries; the seed spans that pre-prepare and its tx run.
+        let start = ledger_len;
+        let pp_here = matches!(
+            self.ledger.entry(LedgerIdx(start)),
+            Some(LedgerEntry::PrePrepare(pp)) if pp.seq() == seq
+        );
+        if !pp_here {
+            // Suffix no longer in this ledger (shouldn't happen for an
+            // offerable record) — refuse rather than mis-seed.
+            return self.send_replica(
+                sender,
+                ProtocolMsg::FetchCheckpointResponse {
+                    seq,
+                    kv_bytes: Vec::new(),
+                    frontier: Vec::new(),
+                    ledger_len: 0,
+                    next_tx_index: 0,
+                    seed_entries: Vec::new(),
+                },
+            );
+        }
+        let mut end = start + 1;
+        while matches!(self.ledger.entry(LedgerIdx(end)), Some(LedgerEntry::Tx(_))) {
+            end += 1;
+        }
+        let seed_entries = self.ledger.encode_range(LedgerIdx(start), LedgerIdx(end));
+        self.send_replica(
+            sender,
+            ProtocolMsg::FetchCheckpointResponse {
+                seq,
+                kv_bytes,
+                frontier,
+                ledger_len,
+                next_tx_index,
+                seed_entries,
+            },
         );
     }
 

@@ -171,7 +171,7 @@ impl Replica {
         let seed = hash_bytes(&[gt_hash.as_ref(), &id.0.to_le_bytes()].concat());
         let gov = GovernanceState::new(genesis.clone());
         let pool = Arc::new(ia_ccf_pool::WorkerPool::new(params.resolved_pool_threads()));
-        Replica {
+        let mut replica = Replica {
             id,
             keypair,
             params,
@@ -218,6 +218,84 @@ impl Replica {
             last_progress_tick: 0,
             last_pp_tick: 0,
             out: Vec::new(),
+        };
+        // A data directory makes the ledger durable from the first
+        // append. `new` *claims* the directory for a fresh history
+        // (whatever is on disk is reconciled down to the genesis entry);
+        // restarting from existing segment files is
+        // [`Replica::restart_from_dir`].
+        if let Some(dir) = replica.params.data_dir.clone() {
+            let (log, _existing) =
+                ia_ccf_ledger::DurableLog::open(&dir, replica.params.fsync_interval_batches)
+                    .expect("open durable ledger directory");
+            replica.ledger.attach_durable(log).expect("attach durable ledger");
+        }
+        replica
+    }
+
+    /// Rebuild a crashed replica from its durable ledger directory
+    /// (`params.data_dir`): open the segment files (the chunk-level
+    /// torn-tail repair runs inside the open), cut any structurally
+    /// incomplete trailing segment the crash left behind, replay the
+    /// surviving prefix through the normal bootstrap verification, and
+    /// re-attach the log so the repaired file tail matches the replayed
+    /// state byte for byte. The replica then resumes — typically via
+    /// [`Replica::begin_ledger_sync`], which pages only from its first
+    /// missing batch (the applied prefix is never re-fetched).
+    pub fn restart_from_dir(
+        id: ReplicaId,
+        keypair: ia_ccf_crypto::KeyPair,
+        app: Arc<dyn App>,
+        params: ProtocolParams,
+        client_keys: impl IntoIterator<Item = (ClientId, PublicKey)>,
+    ) -> Result<Replica, crate::bootstrap::BootstrapError> {
+        use crate::bootstrap::BootstrapError;
+        let dir = params.data_dir.clone().expect("restart_from_dir needs params.data_dir");
+        let (log, raw) = ia_ccf_ledger::DurableLog::open(&dir, params.fsync_interval_batches)
+            .map_err(|e| BootstrapError::Malformed(format!("durable log: {e}")))?;
+        let keep = Self::structural_prefix(&raw);
+        // Bootstrap replays in memory first; the held log attaches after,
+        // so replay never double-writes the files it was read from.
+        let mut boot_params = params;
+        boot_params.data_dir = None;
+        let mut replica = Self::bootstrap(id, keypair, app, boot_params, client_keys, &raw[..keep])?;
+        replica.params.data_dir = Some(dir);
+        replica
+            .ledger
+            .attach_durable(log)
+            .map_err(|e| BootstrapError::Malformed(format!("durable log: {e}")))?;
+        Ok(replica)
+    }
+
+    /// The longest prefix of `raw` (genesis included) that parses into
+    /// complete segments — the structural half of torn-tail repair. The
+    /// chunk framing already guarantees crash cuts land on append-call
+    /// boundaries, but one batch is *two* appends (evidence pair, then
+    /// pre-prepare + transactions) and a view change is two as well, so a
+    /// crash between them leaves a structurally incomplete tail that must
+    /// be cut — never parsed into state. Committed batches are always
+    /// complete on disk, so the cut only ever drops an unfinished tail.
+    fn structural_prefix(raw: &[ia_ccf_types::LedgerEntry]) -> usize {
+        use ia_ccf_ledger::segment::segment_complete_prefix;
+        if raw.len() <= 1 {
+            return raw.len();
+        }
+        let body = &raw[1..];
+        let mut end = body.len();
+        loop {
+            match segment_complete_prefix(&body[..end], 1) {
+                Ok((_, consumed)) => return 1 + consumed,
+                Err(e) => {
+                    // Structure broken *before* the tail (corruption, not
+                    // a clean crash cut): retry on the prefix before the
+                    // offending entry until something parses.
+                    let new_end = e.at.min(end.saturating_sub(1));
+                    if new_end == 0 {
+                        return 1;
+                    }
+                    end = new_end;
+                }
+            }
         }
     }
 
@@ -338,7 +416,12 @@ impl Replica {
         // from later pages or recovered through the normal fetch paths
         // once the sync completes.
         if self.in_recovery_sync()
-            && !matches!(msg, ProtocolMsg::FetchLedgerPageResponse { .. })
+            && !matches!(
+                msg,
+                ProtocolMsg::FetchLedgerPageResponse { .. }
+                    | ProtocolMsg::LedgerTipResponse { .. }
+                    | ProtocolMsg::FetchCheckpointResponse { .. }
+            )
         {
             return;
         }
@@ -393,6 +476,41 @@ impl Replica {
             ProtocolMsg::FetchLedgerPageResponse { entries, next_seq, done } => {
                 if let NodeId::Replica(sender) = from {
                     self.on_ledger_page(sender, entries, next_seq, done);
+                }
+            }
+            ProtocolMsg::FetchLedgerTip => {
+                if let NodeId::Replica(sender) = from {
+                    self.serve_ledger_tip(sender);
+                }
+            }
+            ProtocolMsg::LedgerTipResponse { tip, cp_seq, cp_kv_digest, cp_tree_root } => {
+                if let NodeId::Replica(sender) = from {
+                    self.on_ledger_tip(sender, tip, cp_seq, cp_kv_digest, cp_tree_root);
+                }
+            }
+            ProtocolMsg::FetchCheckpoint { seq } => {
+                if let NodeId::Replica(sender) = from {
+                    self.serve_checkpoint_fetch(sender, seq);
+                }
+            }
+            ProtocolMsg::FetchCheckpointResponse {
+                seq,
+                kv_bytes,
+                frontier,
+                ledger_len,
+                next_tx_index,
+                seed_entries,
+            } => {
+                if let NodeId::Replica(sender) = from {
+                    self.on_checkpoint_payload(
+                        sender,
+                        seq,
+                        kv_bytes,
+                        frontier,
+                        ledger_len,
+                        next_tx_index,
+                        seed_entries,
+                    );
                 }
             }
             ProtocolMsg::FetchGovReceipts { from_index } => {

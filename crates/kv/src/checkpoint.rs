@@ -61,6 +61,62 @@ impl KvCheckpoint {
     pub fn forge_with_digest(entries: BTreeMap<Key, Value>, digest: Digest) -> Self {
         KvCheckpoint { digest, entries }
     }
+
+    /// Serialize for checkpoint transfer:
+    /// `digest || entry-count || (key-len, key, value-len, value)*`.
+    /// The advertised digest travels with the entries so the receiver can
+    /// run [`KvCheckpoint::verify_integrity`] before trusting either.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self
+            .entries
+            .iter()
+            .map(|(k, v)| 8 + k.len() + v.len())
+            .sum();
+        let mut out = Vec::with_capacity(32 + 8 + payload);
+        out.extend_from_slice(self.digest.as_ref());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for (k, v) in &self.entries {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Decode [`KvCheckpoint::to_bytes`]. Length prefixes are checked
+    /// against the remaining input before any allocation, so hostile
+    /// counts cannot balloon memory; truncated or trailing bytes are
+    /// rejected. The decoded checkpoint's digest is whatever the bytes
+    /// advertise — callers must still [`KvCheckpoint::verify_integrity`]
+    /// and compare against the digest agreed through the protocol.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (digest, rest) = bytes.split_first_chunk::<32>()?;
+        let digest = Digest(*digest);
+        let (n_bytes, mut rest) = rest.split_first_chunk::<8>()?;
+        let n = u64::from_le_bytes(*n_bytes);
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let (k, r) = take_chunk(rest)?;
+            let (v, r) = take_chunk(r)?;
+            rest = r;
+            entries.insert(k.to_vec(), v.to_vec());
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(KvCheckpoint { digest, entries })
+    }
+}
+
+/// Split one `u32`-length-prefixed chunk off `bytes`.
+fn take_chunk(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    let (len_bytes, rest) = bytes.split_first_chunk::<4>()?;
+    let len = u32::from_le_bytes(*len_bytes) as usize;
+    if rest.len() < len {
+        return None;
+    }
+    Some(rest.split_at(len))
 }
 
 fn digest_of(entries: &BTreeMap<Key, Value>) -> Digest {

@@ -7,19 +7,23 @@
 //! Merkle tree `M`, whose root every signed pre-prepare carries, committing
 //! each replica to the entire history.
 //!
-//! Three facilities live here:
+//! Four facilities live here:
 //!
 //! * [`Ledger`] — the replica-side structure: append, rollback
 //!   ([`Ledger::truncate_to`], Lemma 1), roots, lookups;
 //! * [`segment`] — the shared structural grammar ("well-formedness" in
 //!   Appx. B terms) used by replicas validating fetched fragments and by
 //!   the auditor;
+//! * [`durable`] — the disk-backed segment files behind a durable
+//!   replica: chunk-framed appends, batched fsync, torn-tail repair;
 //! * [`subledger`] — extraction of the governance sub-ledger (§5.2).
 
+pub mod durable;
 pub mod segment;
 pub mod store;
 pub mod subledger;
 
+pub use durable::DurableLog;
 pub use segment::{segment_entries, Segment, SegmentError};
 pub use store::Ledger;
 pub use subledger::governance_tx_indices;

@@ -7,6 +7,92 @@ use ia_ccf_types::{
     Configuration, Digest, LedgerEntry, LedgerIdx, SeqNum, View, Wire,
 };
 
+use crate::durable::DurableLog;
+
+/// The Merkle tree `M`, in one of two representations: the full tree
+/// (normal operation — supports membership paths), or a checkpoint
+/// *continuation* that knows only the frontier at the checkpoint plus the
+/// leaves appended since (§3.4: a replica restoring from a checkpoint
+/// keeps appending and rolling back within the window without the
+/// interior of the tree).
+#[derive(Debug, Clone)]
+enum MTree {
+    Full(MerkleTree),
+    Cont {
+        /// The frontier at the restore point — the rollback floor.
+        base: Frontier,
+        /// Leaves appended since the restore point.
+        leaves: Vec<Digest>,
+        /// `base` advanced over `leaves` (the live frontier).
+        cur: Frontier,
+    },
+}
+
+impl MTree {
+    fn append(&mut self, leaf: Digest) {
+        match self {
+            MTree::Full(t) => t.append(leaf),
+            MTree::Cont { leaves, cur, .. } => {
+                leaves.push(leaf);
+                cur.append(leaf);
+            }
+        }
+    }
+
+    fn extend(&mut self, new: Vec<Digest>) {
+        match self {
+            MTree::Full(t) => t.extend(new),
+            MTree::Cont { leaves, cur, .. } => {
+                for l in &new {
+                    cur.append(*l);
+                }
+                leaves.extend(new);
+            }
+        }
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            MTree::Full(t) => t.len(),
+            MTree::Cont { base, leaves, .. } => base.len() + leaves.len() as u64,
+        }
+    }
+
+    fn root(&self) -> Digest {
+        match self {
+            MTree::Full(t) => t.root(),
+            MTree::Cont { cur, .. } => cur.root(),
+        }
+    }
+
+    fn frontier(&self) -> Frontier {
+        match self {
+            MTree::Full(t) => t.frontier(),
+            MTree::Cont { cur, .. } => cur.clone(),
+        }
+    }
+
+    /// Truncate to `keep_total` leaves overall. A continuation can only
+    /// roll back to its restore point — never past it (rollback is
+    /// bounded by committed state, and the restore point is committed).
+    fn truncate(&mut self, keep_total: u64) {
+        match self {
+            MTree::Full(t) => t.truncate(keep_total),
+            MTree::Cont { base, leaves, cur } => {
+                let keep = keep_total
+                    .checked_sub(base.len())
+                    .expect("rollback past the checkpoint restore point");
+                leaves.truncate(keep as usize);
+                let mut rebuilt = base.clone();
+                for l in leaves.iter() {
+                    rebuilt.append(*l);
+                }
+                *cur = rebuilt;
+            }
+        }
+    }
+}
+
 /// The append-only ledger of one replica.
 ///
 /// Every entry has a [`LedgerIdx`] (its position). Non-transaction entries
@@ -14,12 +100,27 @@ use ia_ccf_types::{
 /// entries are bound through `Ḡ` inside their batch's pre-prepare instead
 /// (Alg. 1 appends only evidence/pre-prepare/view-change/new-view entries
 /// to `M`).
-#[derive(Debug, Clone)]
+///
+/// Two orthogonal modes extend the in-memory seed behaviour:
+///
+/// * **Durable** ([`Ledger::attach_durable`]): every append/rollback is
+///   mirrored into an on-disk [`DurableLog`] and `encode_range` (the
+///   page-serving read path) reads the entry bytes straight from the
+///   segment files.
+/// * **Suffix** ([`Ledger::from_checkpoint`]): the ledger holds only the
+///   entries after a checkpoint restore point; `base()` entries before it
+///   exist logically (indices stay absolute) but are not materialized.
+#[derive(Debug)]
 pub struct Ledger {
+    /// Entries from `base` onward (all entries when `base == 0`).
     entries: Vec<LedgerEntry>,
-    tree: MerkleTree,
-    /// Entry index of each M-leaf, ascending; used to truncate the tree in
-    /// step with the entries.
+    /// Number of pre-`entries` ledger positions summarized by the tree's
+    /// checkpoint frontier. `0` except after [`Ledger::from_checkpoint`].
+    base: u64,
+    tree: MTree,
+    /// Entry index of each M-leaf appended since `base`, ascending
+    /// (absolute indices); used to truncate the tree in step with the
+    /// entries.
     m_leaf_entries: Vec<u64>,
     /// Entry index of the pre-prepare for each sequence number. A sequence
     /// number re-proposed in a later view overwrites the earlier mapping —
@@ -30,18 +131,33 @@ pub struct Ledger {
     /// applied (dedup must key on ledger *content*: a rollback can remove
     /// the entries while the replica's view number stays advanced).
     nv_entries: Vec<(u64, View)>,
+    /// On-disk mirror, when this replica runs durable. Never attached to
+    /// a suffix-mode ledger.
+    durable: Option<DurableLog>,
+}
+
+impl Clone for Ledger {
+    /// Clones the in-memory state only: the durable sink holds exclusive
+    /// file handles and stays with the original (clones are used by
+    /// harnesses and the auditor, which must not write the replica's
+    /// files).
+    fn clone(&self) -> Self {
+        Ledger {
+            entries: self.entries.clone(),
+            base: self.base,
+            tree: self.tree.clone(),
+            m_leaf_entries: self.m_leaf_entries.clone(),
+            pp_by_seq: self.pp_by_seq.clone(),
+            nv_entries: self.nv_entries.clone(),
+            durable: None,
+        }
+    }
 }
 
 impl Ledger {
     /// A ledger seeded with the genesis transaction.
     pub fn new(genesis_config: Configuration) -> Self {
-        let mut ledger = Ledger {
-            entries: Vec::new(),
-            tree: MerkleTree::new(),
-            m_leaf_entries: Vec::new(),
-            pp_by_seq: BTreeMap::new(),
-            nv_entries: Vec::new(),
-        };
+        let mut ledger = Ledger::empty();
         ledger.append(LedgerEntry::Genesis { config: genesis_config });
         ledger
     }
@@ -50,15 +166,79 @@ impl Ledger {
     pub fn empty() -> Self {
         Ledger {
             entries: Vec::new(),
-            tree: MerkleTree::new(),
+            base: 0,
+            tree: MTree::Full(MerkleTree::new()),
             m_leaf_entries: Vec::new(),
             pp_by_seq: BTreeMap::new(),
             nv_entries: Vec::new(),
+            durable: None,
         }
+    }
+
+    /// A *suffix* ledger restored from a checkpoint: the `base_entries`
+    /// positions before the restore point exist logically but are not
+    /// held; the tree continues from `frontier` (whose root the caller
+    /// has verified against the agreed checkpoint digest). Appends,
+    /// rollback (down to the restore point), roots and page serving for
+    /// the suffix all work; entries before `base()` read as absent.
+    pub fn from_checkpoint(base_entries: u64, frontier: Frontier) -> Self {
+        Ledger {
+            entries: Vec::new(),
+            base: base_entries,
+            tree: MTree::Cont { base: frontier.clone(), leaves: Vec::new(), cur: frontier },
+            m_leaf_entries: Vec::new(),
+            pp_by_seq: BTreeMap::new(),
+            nv_entries: Vec::new(),
+            durable: None,
+        }
+    }
+
+    /// Number of leading ledger positions not materialized (0 unless this
+    /// is a [`Ledger::from_checkpoint`] suffix).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Attach an on-disk mirror. The log and the in-memory state are
+    /// reconciled first — the log is truncated to the ledger's length
+    /// (structural repair may have cut entries the byte-level repair
+    /// kept) and any in-memory entries the log is missing are appended —
+    /// so afterwards the two always hold the same entries. Suffix-mode
+    /// ledgers cannot be durable (the log could not represent the hole).
+    pub fn attach_durable(&mut self, mut log: DurableLog) -> std::io::Result<()> {
+        assert_eq!(self.base, 0, "a suffix ledger cannot attach a durable log");
+        if log.entry_count() > self.len() {
+            log.truncate_entries(self.len())?;
+        }
+        while log.entry_count() < self.len() {
+            let i = log.entry_count() as usize;
+            let entry = &self.entries[i];
+            log.append_chunk(
+                std::slice::from_ref(entry),
+                matches!(entry, LedgerEntry::PrePrepare(_)),
+            )?;
+        }
+        log.fsync_tail()?;
+        self.durable = Some(log);
+        Ok(())
+    }
+
+    /// The attached durable log, if any (harness access: sync watermarks,
+    /// tail path for crash injection).
+    pub fn durable(&self) -> Option<&DurableLog> {
+        self.durable.as_ref()
+    }
+
+    /// Mutable access to the attached durable log (harness: force syncs).
+    pub fn durable_mut(&mut self) -> Option<&mut DurableLog> {
+        self.durable.as_mut()
     }
 
     /// The hash of the genesis transaction — the service name `H(gt)`.
     pub fn genesis_hash(&self) -> Option<Digest> {
+        if self.base != 0 {
+            return None;
+        }
         match self.entries.first() {
             Some(e @ LedgerEntry::Genesis { .. }) => Some(ia_ccf_crypto::hash_bytes(&e.to_bytes())),
             _ => None,
@@ -67,7 +247,7 @@ impl Ledger {
 
     /// Append an entry, returning its index.
     pub fn append(&mut self, entry: LedgerEntry) -> LedgerIdx {
-        let idx = self.entries.len() as u64;
+        let idx = self.base + self.entries.len() as u64;
         if entry.is_m_leaf() {
             self.tree.append(entry.m_leaf());
             self.m_leaf_entries.push(idx);
@@ -77,6 +257,13 @@ impl Ledger {
         }
         if let LedgerEntry::NewView(nv) = &entry {
             self.nv_entries.push((idx, nv.view));
+        }
+        if let Some(log) = &mut self.durable {
+            log.append_chunk(
+                std::slice::from_ref(&entry),
+                matches!(entry, LedgerEntry::PrePrepare(_)),
+            )
+            .expect("durable ledger append");
         }
         self.entries.push(entry);
         LedgerIdx(idx)
@@ -89,7 +276,7 @@ impl Ledger {
     /// equivalent to appending each entry in order. Returns the index of
     /// the first appended entry (the batch's segment start).
     pub fn append_batch(&mut self, batch: Vec<LedgerEntry>) -> LedgerIdx {
-        let first = self.entries.len() as u64;
+        let first = self.base + self.entries.len() as u64;
         let mut m_leaves: Vec<Digest> = Vec::new();
         for (off, entry) in batch.iter().enumerate() {
             let idx = first + off as u64;
@@ -104,35 +291,50 @@ impl Ledger {
                 self.nv_entries.push((idx, nv.view));
             }
         }
+        if let Some(log) = &mut self.durable {
+            // One batch = one chunk: the torn-tail repair unit. A chunk
+            // counts toward the fsync interval iff it carries the batch's
+            // pre-prepare (the evidence-pair chunk of the same batch does
+            // not double-count it).
+            log.append_chunk(
+                &batch,
+                batch.iter().any(|e| matches!(e, LedgerEntry::PrePrepare(_))),
+            )
+            .expect("durable ledger append");
+        }
         self.tree.extend(m_leaves);
         self.entries.reserve(batch.len());
         self.entries.extend(batch);
         LedgerIdx(first)
     }
 
-    /// Number of entries.
+    /// Number of entries (absolute: includes the un-materialized prefix
+    /// of a suffix ledger).
     pub fn len(&self) -> u64 {
-        self.entries.len() as u64
+        self.base + self.entries.len() as u64
     }
 
     /// Whether the ledger is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// The entry at `idx`.
+    /// The entry at `idx` (`None` below a suffix ledger's `base()`).
     pub fn entry(&self, idx: LedgerIdx) -> Option<&LedgerEntry> {
-        self.entries.get(idx.0 as usize)
+        self.entries.get(usize::try_from(idx.0.checked_sub(self.base)?).ok()?)
     }
 
-    /// All entries, in order.
+    /// The materialized entries, in order. For a suffix ledger this is
+    /// the tail starting at `base()` — pair with [`Ledger::base`] when
+    /// absolute indices matter.
     pub fn entries(&self) -> &[LedgerEntry] {
         &self.entries
     }
 
     /// Entries from `from` (inclusive) onward.
     pub fn entries_from(&self, from: LedgerIdx) -> &[LedgerEntry] {
-        &self.entries[(from.0 as usize).min(self.entries.len())..]
+        let rel = from.0.saturating_sub(self.base) as usize;
+        &self.entries[rel.min(self.entries.len())..]
     }
 
     /// Current root of the ledger tree `M` (`M̄` for the next pre-prepare).
@@ -158,7 +360,7 @@ impl Ledger {
 
     /// The pre-prepare entry for `seq`, if any.
     pub fn pp_at(&self, seq: SeqNum) -> Option<&ia_ccf_types::PrePrepare> {
-        match self.entries.get(self.pp_index_at(seq)?) {
+        match self.entry(LedgerIdx(self.pp_index_at(seq)? as u64)) {
             Some(LedgerEntry::PrePrepare(pp)) => Some(pp),
             _ => None,
         }
@@ -177,13 +379,16 @@ impl Ledger {
     /// before `from_seq` the whole post-genesis ledger is the suffix.
     pub fn fetch_start_pos(&self, from_seq: SeqNum) -> u64 {
         let Some((_, &pp_idx)) = self.pp_by_seq.range(..from_seq).next_back() else {
-            return 1.min(self.len());
+            // A suffix ledger cannot serve below its base; a requester
+            // needing earlier entries fails validation and fails over to
+            // a replica with full history.
+            return self.base.max(1.min(self.len()));
         };
-        let mut end = pp_idx + 1;
-        while matches!(self.entries.get(end), Some(LedgerEntry::Tx(_))) {
+        let mut end = pp_idx as u64 + 1;
+        while matches!(self.entry(LedgerIdx(end)), Some(LedgerEntry::Tx(_))) {
             end += 1;
         }
-        end as u64
+        end
     }
 
     /// Sequence numbers of batches at or after `from_seq`, in ledger
@@ -211,9 +416,16 @@ impl Ledger {
     /// response carries them: encoded bytes plus the `u32` length prefix
     /// each — lets a page server budget a segment without encoding it.
     pub fn encoded_range_len(&self, from: LedgerIdx, to_exclusive: LedgerIdx) -> u64 {
-        let lo = (from.0 as usize).min(self.entries.len());
-        let hi = (to_exclusive.0 as usize).min(self.entries.len());
+        let (lo, hi) = self.clamp_range(from, to_exclusive);
         self.entries[lo..hi].iter().map(|e| e.encoded_len() as u64 + 4).sum()
+    }
+
+    /// Map an absolute `[from, to)` range to indices into the
+    /// materialized `entries`, clamped on both sides.
+    fn clamp_range(&self, from: LedgerIdx, to_exclusive: LedgerIdx) -> (usize, usize) {
+        let lo = (from.0.saturating_sub(self.base) as usize).min(self.entries.len());
+        let hi = (to_exclusive.0.saturating_sub(self.base) as usize).min(self.entries.len());
+        (lo, hi.max(lo))
     }
 
     /// Roll back to the first `new_len` entries (Lemma 1): truncates the
@@ -222,11 +434,18 @@ impl Ledger {
         if new_len >= self.len() {
             return;
         }
-        // Tree leaves to keep: m-leaves whose entry index < new_len.
+        assert!(
+            new_len >= self.base,
+            "rollback past a suffix ledger's restore point (restore points are committed)"
+        );
+        // Tree leaves to keep: m-leaves whose entry index < new_len. The
+        // m-leaf list only covers post-base entries; the tree target is
+        // its total count minus the leaves dropped here.
         let keep_leaves = self.m_leaf_entries.partition_point(|&e| e < new_len);
-        self.tree.truncate(keep_leaves as u64);
+        let dropped = (self.m_leaf_entries.len() - keep_leaves) as u64;
+        self.tree.truncate(self.tree.len() - dropped);
         self.m_leaf_entries.truncate(keep_leaves);
-        self.entries.truncate(new_len as usize);
+        self.entries.truncate((new_len - self.base) as usize);
         self.nv_entries.retain(|(idx, _)| *idx < new_len);
         // Rebuild the seq index for dropped/overwritten pre-prepares.
         self.pp_by_seq.retain(|_, idx| (*idx as u64) < new_len);
@@ -234,11 +453,25 @@ impl Ledger {
         // in the map and survives the truncation; rescan the tail to restore
         // the latest surviving mapping.
         for (i, e) in self.entries.iter().enumerate() {
+            let abs = self.base as usize + i;
             if let LedgerEntry::PrePrepare(pp) = e {
                 let cur = self.pp_by_seq.get(&pp.seq()).copied().unwrap_or(0);
-                if i >= cur {
-                    self.pp_by_seq.insert(pp.seq(), i);
+                if abs >= cur {
+                    self.pp_by_seq.insert(pp.seq(), abs);
                 }
+            }
+        }
+        if let Some(log) = &mut self.durable {
+            // Mirror the cut: the log truncates to the chunk floor and
+            // the gap (if the cut landed mid-chunk) is re-appended from
+            // the surviving in-memory entries.
+            let floor = log.truncate_entries(new_len).expect("durable ledger truncate");
+            for e in &self.entries[floor as usize..] {
+                log.append_chunk(
+                    std::slice::from_ref(e),
+                    matches!(e, LedgerEntry::PrePrepare(_)),
+                )
+                .expect("durable ledger re-append");
             }
         }
     }
@@ -249,7 +482,7 @@ impl Ledger {
         for (i, e) in self.entries.iter().enumerate().rev() {
             if let LedgerEntry::Tx(tx) = e {
                 if tx.request.is_governance() {
-                    return LedgerIdx(i as u64);
+                    return LedgerIdx(self.base + i as u64);
                 }
             }
         }
@@ -257,10 +490,18 @@ impl Ledger {
     }
 
     /// Serialize a range of entries for transmission (ledger fragments,
-    /// fetch responses).
+    /// fetch responses). With a durable log attached the bytes come
+    /// straight from the segment files — the page-serving read path does
+    /// not re-encode from memory.
     pub fn encode_range(&self, from: LedgerIdx, to_exclusive: LedgerIdx) -> Vec<Vec<u8>> {
-        let lo = (from.0 as usize).min(self.entries.len());
-        let hi = (to_exclusive.0 as usize).min(self.entries.len());
+        let (lo, hi) = self.clamp_range(from, to_exclusive);
+        if let Some(log) = &self.durable {
+            // The mirror is reconciled on every append/truncate, so it
+            // always holds exactly the in-memory entries (base == 0).
+            return log
+                .read_encoded_range(lo as u64, hi as u64)
+                .expect("durable ledger read");
+        }
         self.entries[lo..hi].iter().map(|e| e.to_bytes()).collect()
     }
 
@@ -561,5 +802,131 @@ mod tests {
         for (bytes, entry) in encoded.iter().zip(ledger.entries()) {
             assert_eq!(&LedgerEntry::from_bytes(bytes).unwrap(), entry);
         }
+    }
+
+    #[test]
+    fn suffix_ledger_tracks_full_ledger() {
+        // A full ledger and a suffix ledger cut at a mid point must agree
+        // on every absolute-index observation from the cut onward.
+        let (mut full, rk) = ledger4();
+        full.append(LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] });
+        full.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        let cut = full.len();
+        let mut suffix = Ledger::from_checkpoint(cut, full.frontier());
+        assert_eq!(suffix.len(), full.len());
+        assert_eq!(suffix.root_m(), full.root_m());
+        assert!(suffix.entry(LedgerIdx(0)).is_none(), "below base reads absent");
+
+        let tail: Vec<LedgerEntry> = vec![
+            LedgerEntry::Nonces { seq: SeqNum(2), nonces: vec![Nonce([2; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])),
+            LedgerEntry::Nonces { seq: SeqNum(3), nonces: vec![Nonce([3; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 3, &rk[0])),
+        ];
+        let rollback_to = full.len() + 2;
+        for e in tail {
+            full.append(e.clone());
+            suffix.append(e);
+        }
+        assert_eq!(suffix.len(), full.len());
+        assert_eq!(suffix.root_m(), full.root_m());
+        assert_eq!(suffix.frontier(), full.frontier());
+        assert_eq!(suffix.m_leaf_count(), full.m_leaf_count());
+        assert_eq!(suffix.max_seq(), full.max_seq());
+        assert_eq!(
+            suffix.pp_index_at(SeqNum(3)),
+            full.pp_index_at(SeqNum(3)),
+            "absolute indices agree"
+        );
+        assert_eq!(suffix.pp_at(SeqNum(2)), full.pp_at(SeqNum(2)));
+        assert_eq!(
+            suffix.fetch_start_pos(SeqNum(3)),
+            full.fetch_start_pos(SeqNum(3)),
+            "page boundaries agree within the suffix"
+        );
+        assert_eq!(
+            suffix.encode_range(LedgerIdx(cut), LedgerIdx(full.len())),
+            full.encode_range(LedgerIdx(cut), LedgerIdx(full.len()))
+        );
+        // Rollback within the window agrees too (tree rebuilt from the
+        // restore-point frontier).
+        full.truncate_to(rollback_to);
+        suffix.truncate_to(rollback_to);
+        assert_eq!(suffix.root_m(), full.root_m());
+        assert_eq!(suffix.len(), full.len());
+        assert!(suffix.pp_at(SeqNum(3)).is_none());
+    }
+
+    #[test]
+    fn durable_mirror_survives_reopen_and_rollback() {
+        let dir = std::env::temp_dir()
+            .join(format!("iaccf-store-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut ledger, rk) = ledger4();
+        let (log, prefix) = crate::durable::DurableLog::open(&dir, 1).unwrap();
+        assert!(prefix.is_empty());
+        ledger.attach_durable(log).unwrap();
+
+        ledger.append_batch(vec![
+            LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])),
+        ]);
+        ledger.append(LedgerEntry::ViewChangeSet {
+            view: View(1),
+            view_changes: vec![],
+        });
+        // Rollback of the individually-appended entry lands on a chunk
+        // boundary — the mirror follows.
+        ledger.truncate_to(ledger.len() - 1);
+        ledger.append_batch(vec![
+            LedgerEntry::Nonces { seq: SeqNum(2), nonces: vec![Nonce([2; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])),
+        ]);
+
+        // Page serving reads the same bytes off disk as the in-memory
+        // encoding produces.
+        let from_disk = ledger.encode_range(LedgerIdx(0), LedgerIdx(ledger.len()));
+        let from_mem: Vec<Vec<u8>> = ledger.entries().iter().map(|e| e.to_bytes()).collect();
+        assert_eq!(from_disk, from_mem);
+
+        // Reopening the directory yields exactly the live entries.
+        let expect = ledger.entries().to_vec();
+        drop(ledger);
+        let (_, reopened) = crate::durable::DurableLog::open(&dir, 1).unwrap();
+        assert_eq!(reopened, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attach_durable_reconciles_both_directions() {
+        let dir = std::env::temp_dir()
+            .join(format!("iaccf-store-reconcile-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Log ahead of the ledger (structural repair cut entries): attach
+        // truncates the log.
+        let (mut ledger, rk) = ledger4();
+        ledger.append(LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] });
+        ledger.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+        {
+            let (mut log, _) = crate::durable::DurableLog::open(&dir, 1).unwrap();
+            for e in ledger.entries() {
+                log.append_chunk(std::slice::from_ref(e), false).unwrap();
+            }
+            // An extra dangling entry the structural repair rejected.
+            log.append_chunk(
+                &[LedgerEntry::Nonces { seq: SeqNum(9), nonces: vec![] }],
+                false,
+            )
+            .unwrap();
+        }
+        let (log, on_disk) = crate::durable::DurableLog::open(&dir, 1).unwrap();
+        assert_eq!(on_disk.len() as u64, ledger.len() + 1);
+        ledger.attach_durable(log).unwrap();
+        assert_eq!(ledger.durable().unwrap().entry_count(), ledger.len());
+        let expect = ledger.entries().to_vec();
+        drop(ledger);
+        let (_, reopened) = crate::durable::DurableLog::open(&dir, 1).unwrap();
+        assert_eq!(reopened, expect, "attach cut the log back to the ledger");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

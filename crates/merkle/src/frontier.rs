@@ -24,8 +24,68 @@ impl Frontier {
         Frontier { len: 0, peaks: Vec::new() }
     }
 
-    pub(crate) fn from_parts(len: u64, peaks: Vec<Option<Digest>>) -> Self {
+    /// Rebuild a frontier from its parts — the inverse of
+    /// [`Frontier::peaks`]/[`Frontier::len`], used when a frontier is
+    /// restored from a serialized checkpoint. A frontier forged from
+    /// inconsistent parts simply produces a root that matches nothing;
+    /// consumers must verify the root against an agreed digest.
+    pub fn from_parts(len: u64, peaks: Vec<Option<Digest>>) -> Self {
         Frontier { len, peaks }
+    }
+
+    /// The unpaired node (if any) at each level, ascending — together
+    /// with [`Frontier::len`] the full serializable state.
+    pub fn peaks(&self) -> &[Option<Digest>] {
+        &self.peaks
+    }
+
+    /// Serialize as `len || peak-count || (flag, digest?)*` — the wire
+    /// form checkpoint transfers carry.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + self.peaks.len() * 33);
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&(self.peaks.len() as u32).to_le_bytes());
+        for peak in &self.peaks {
+            match peak {
+                Some(d) => {
+                    out.push(1);
+                    out.extend_from_slice(d.as_ref());
+                }
+                None => out.push(0),
+            }
+        }
+        out
+    }
+
+    /// Decode [`Frontier::to_bytes`]. Rejects truncated or trailing
+    /// bytes; the peak count is bounded (a tree of 2^64 leaves has 64
+    /// levels) so hostile lengths cannot force allocation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (len_bytes, rest) = bytes.split_first_chunk::<8>()?;
+        let len = u64::from_le_bytes(*len_bytes);
+        let (n_bytes, mut rest) = rest.split_first_chunk::<4>()?;
+        let n = u32::from_le_bytes(*n_bytes);
+        if n > 64 {
+            return None;
+        }
+        let mut peaks = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (&flag, r) = rest.split_first()?;
+            rest = r;
+            match flag {
+                0 => peaks.push(None),
+                1 => {
+                    let (d, r) = rest.split_first_chunk::<32>()?;
+                    rest = r;
+                    peaks.push(Some(Digest(*d)));
+                }
+                _ => return None,
+            }
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(Frontier { len, peaks })
     }
 
     /// Number of leaves in the summarized tree.
@@ -114,6 +174,29 @@ mod tests {
             frontier.append(*l);
         }
         assert_eq!(frontier.root(), tree.root());
+    }
+
+    #[test]
+    fn bytes_roundtrip_at_every_size() {
+        let ls = leaves(33);
+        let mut f = Frontier::new();
+        for l in &ls {
+            f.append(*l);
+            let bytes = f.to_bytes();
+            let back = Frontier::from_bytes(&bytes).expect("roundtrip");
+            assert_eq!(back, f);
+            assert_eq!(back.root(), f.root());
+            // Truncations and trailing garbage are rejected, not
+            // misdecoded.
+            assert!(Frontier::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+            let mut long = bytes.clone();
+            long.push(0);
+            assert!(Frontier::from_bytes(&long).is_none());
+        }
+        // A hostile peak count cannot force allocation.
+        let mut forged = 0u64.to_le_bytes().to_vec();
+        forged.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Frontier::from_bytes(&forged).is_none());
     }
 
     #[test]

@@ -48,9 +48,19 @@ impl DetCluster {
     /// Build a cluster with a per-rank app factory (for tampered-app
     /// Byzantine scenarios).
     pub fn with_apps(spec: &ClusterSpec, mut app_for: impl FnMut(usize) -> Arc<dyn App>) -> Self {
+        Self::with_replica_builder(spec, |rank| spec.build_replica(rank, app_for(rank)))
+    }
+
+    /// Build a cluster with a per-rank replica factory — for clusters
+    /// whose replicas need per-rank parameters, e.g. one `data_dir` each
+    /// for durable-ledger scenarios.
+    pub fn with_replica_builder(
+        spec: &ClusterSpec,
+        mut build: impl FnMut(usize) -> Replica,
+    ) -> Self {
         let mut replicas = BTreeMap::new();
         for rank in 0..spec.genesis.n() {
-            let replica = spec.build_replica(rank, app_for(rank));
+            let replica = build(rank);
             replicas.insert(replica.id(), ByzantineReplica::new(replica, Fault::None));
         }
         let gt_hash = replicas.values().next().expect("replicas").inner.gt_hash();
@@ -78,6 +88,17 @@ impl DetCluster {
     /// Crash a replica: all its future traffic is dropped.
     pub fn crash(&mut self, id: ReplicaId) {
         self.crashed.insert(id);
+    }
+
+    /// Crash a replica and remove its instance from the cluster, returning
+    /// it. Dropping the returned [`Replica`] releases its durable-ledger
+    /// file handles, after which the data dir can be reopened with
+    /// [`Replica::restart_from_dir`] — the crash-restart path. (A plain
+    /// [`DetCluster::crash`] keeps the instance alive as a "survivor" for
+    /// differential comparison.)
+    pub fn crash_and_drop(&mut self, id: ReplicaId) -> Option<Replica> {
+        self.crashed.insert(id);
+        self.replicas.remove(&id).map(|wrapped| wrapped.inner)
     }
 
     /// Add a fresh (already constructed) replica — e.g. one bootstrapped

@@ -10,12 +10,16 @@
 //! * [`metrics`] — latency histograms and throughput counters.
 //! * [`scenario`] — canned cluster constructions shared by tests, examples
 //!   and benches.
+//! * [`testdir`] — std-only temporary directories for the durable-ledger
+//!   crash-restart harnesses.
 
 pub mod det;
 pub mod metrics;
 pub mod rt;
 pub mod scenario;
+pub mod testdir;
 
 pub use det::DetCluster;
 pub use metrics::{Histogram, Throughput};
 pub use scenario::ClusterSpec;
+pub use testdir::TempDir;

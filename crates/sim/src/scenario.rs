@@ -70,12 +70,45 @@ impl ClusterSpec {
 
     /// Build the replica with rank `rank` running `app`.
     pub fn build_replica(&self, rank: usize, app: Arc<dyn App>) -> Replica {
+        self.build_replica_with(rank, app, self.params.clone())
+    }
+
+    /// Build the replica with rank `rank` running `app`, overriding the
+    /// spec-wide parameters — e.g. a per-replica `data_dir` for durable
+    /// clusters, where every replica needs its own directory.
+    pub fn build_replica_with(
+        &self,
+        rank: usize,
+        app: Arc<dyn App>,
+        params: ProtocolParams,
+    ) -> Replica {
         Replica::new(
             ReplicaId(rank as u32),
             self.replica_keys[rank].clone(),
             self.genesis.clone(),
             app,
-            self.params.clone(),
+            params,
+            self.client_keys(),
+        )
+    }
+
+    /// Restart the replica with rank `rank` from its on-disk ledger.
+    /// `params.data_dir` must point at the directory a previous instance
+    /// wrote; a torn tail is repaired and the durable prefix replayed
+    /// before the replica is returned. Drop (or
+    /// [`crate::DetCluster::crash_and_drop`]) the previous instance first
+    /// so its file handles are released.
+    pub fn restart_replica(
+        &self,
+        rank: usize,
+        app: Arc<dyn App>,
+        params: ProtocolParams,
+    ) -> Result<Replica, ia_ccf_core::BootstrapError> {
+        Replica::restart_from_dir(
+            ReplicaId(rank as u32),
+            self.replica_keys[rank].clone(),
+            app,
+            params,
             self.client_keys(),
         )
     }

@@ -1,0 +1,70 @@
+//! Std-only temporary directories for durable-ledger tests.
+//!
+//! The container has no `tempfile` crate; this is the minimal subset the
+//! crash-restart harnesses need — a process-unique directory under the
+//! system temp dir, removed on drop. Uniqueness comes from the process id
+//! plus a monotonic counter, so parallel test binaries and sequential
+//! tests within one binary never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary directory removed (recursively) on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory named after `label`. Any stale directory
+    /// from a crashed earlier run with the same name is removed first, so
+    /// leftover segment files can never leak into a new test.
+    pub fn new(label: &str) -> std::io::Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("ia-ccf-{label}-{}-{n}", std::process::id()));
+        if path.exists() {
+            std::fs::remove_dir_all(&path)?;
+        }
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Create-and-return a subdirectory — one per replica data dir.
+    pub fn subdir(&self, name: &str) -> std::io::Result<PathBuf> {
+        let p = self.path.join(name);
+        std::fs::create_dir_all(&p)?;
+        Ok(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_is_created_and_removed() {
+        let kept;
+        {
+            let dir = TempDir::new("unit").expect("create");
+            kept = dir.path().to_path_buf();
+            assert!(kept.is_dir());
+            let sub = dir.subdir("replica-0").expect("subdir");
+            assert!(sub.is_dir());
+            std::fs::write(sub.join("f"), b"x").expect("write");
+        }
+        assert!(!kept.exists(), "dropped TempDir must remove its tree");
+    }
+}

@@ -415,6 +415,55 @@ pub enum ProtocolMsg {
         /// `next_seq` is the server's next-to-assign sequence number.
         done: bool,
     },
+    /// Ask a peer where its ledger ends and what checkpoint it can serve.
+    /// A recovering replica queries *all* peers and cross-checks the
+    /// claims (f+1 agreement) before trusting any single server's notion
+    /// of the tip — a lone lying server must not be able to freeze
+    /// recovery short of the real tip.
+    FetchLedgerTip,
+    /// Answer to [`ProtocolMsg::FetchLedgerTip`].
+    LedgerTipResponse {
+        /// Highest batch sequence number this replica has committed.
+        tip: SeqNum,
+        /// Newest *agreed* checkpoint this replica can serve (its digest
+        /// is pinned by a committed checkpoint batch), or `SeqNum(0)`
+        /// when it offers none — recovery then pages from genesis.
+        cp_seq: SeqNum,
+        /// The checkpoint's KV digest `d_C`.
+        cp_kv_digest: Digest,
+        /// Root of the ledger tree `M` at the checkpoint's restore point.
+        cp_tree_root: Digest,
+    },
+    /// Ask a peer for the checkpoint it offered in its tip response.
+    FetchCheckpoint {
+        /// The checkpoint's sequence number.
+        seq: SeqNum,
+    },
+    /// The checkpoint payload answering a [`ProtocolMsg::FetchCheckpoint`].
+    /// Everything here is attacker-controlled until verified: the KV bytes
+    /// against the agreed `d_C`, the frontier's root against the agreed
+    /// tree root, and the seed entries against the frontier and the
+    /// pre-prepare's signature. Empty `kv_bytes` means the server refuses
+    /// (no longer holds that checkpoint).
+    FetchCheckpointResponse {
+        /// Which checkpoint this is.
+        seq: SeqNum,
+        /// `KvCheckpoint::to_bytes` of the store snapshot (empty =
+        /// refusal).
+        kv_bytes: Vec<u8>,
+        /// `Frontier::to_bytes` of the ledger tree at the restore point.
+        frontier: Vec<u8>,
+        /// Ledger entry count at the restore point.
+        ledger_len: u64,
+        /// Next transaction index after the checkpoint batch executed.
+        next_tx_index: u64,
+        /// Wire-encoded ledger entries from the restore point through the
+        /// end of the checkpoint batch's segment (its pre-prepare and tx
+        /// entries) — the checkpoint is taken mid-batch, after the
+        /// evidence pair but before the batch's own segment, so replay
+        /// must be seeded with that segment to resume at `cp_seq + 1`.
+        seed_entries: Vec<Vec<u8>>,
+    },
     /// Client asks for governance receipts from an index (§5.2).
     FetchGovReceipts {
         /// Return receipts for governance entries at or after this index.
@@ -823,6 +872,39 @@ impl Wire for ProtocolMsg {
                 next_seq.encode(buf);
                 done.encode(buf);
             }
+            ProtocolMsg::FetchLedgerTip => {
+                buf.push(20);
+            }
+            ProtocolMsg::LedgerTipResponse { tip, cp_seq, cp_kv_digest, cp_tree_root } => {
+                buf.push(21);
+                tip.encode(buf);
+                cp_seq.encode(buf);
+                cp_kv_digest.encode(buf);
+                cp_tree_root.encode(buf);
+            }
+            ProtocolMsg::FetchCheckpoint { seq } => {
+                buf.push(22);
+                seq.encode(buf);
+            }
+            ProtocolMsg::FetchCheckpointResponse {
+                seq,
+                kv_bytes,
+                frontier,
+                ledger_len,
+                next_tx_index,
+                seed_entries,
+            } => {
+                buf.push(23);
+                seq.encode(buf);
+                kv_bytes.encode(buf);
+                frontier.encode(buf);
+                ledger_len.encode(buf);
+                next_tx_index.encode(buf);
+                (seed_entries.len() as u32).encode(buf);
+                for e in seed_entries {
+                    e.encode(buf);
+                }
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -886,6 +968,34 @@ impl Wire for ProtocolMsg {
                     done: bool::decode(r)?,
                 })
             }
+            20 => Ok(ProtocolMsg::FetchLedgerTip),
+            21 => Ok(ProtocolMsg::LedgerTipResponse {
+                tip: SeqNum::decode(r)?,
+                cp_seq: SeqNum::decode(r)?,
+                cp_kv_digest: Digest::decode(r)?,
+                cp_tree_root: Digest::decode(r)?,
+            }),
+            22 => Ok(ProtocolMsg::FetchCheckpoint { seq: SeqNum::decode(r)? }),
+            23 => {
+                let seq = SeqNum::decode(r)?;
+                let kv_bytes = Vec::<u8>::decode(r)?;
+                let frontier = Vec::<u8>::decode(r)?;
+                let ledger_len = u64::decode(r)?;
+                let next_tx_index = u64::decode(r)?;
+                let n = u32::decode(r)?;
+                let mut seed_entries = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    seed_entries.push(Vec::<u8>::decode(r)?);
+                }
+                Ok(ProtocolMsg::FetchCheckpointResponse {
+                    seq,
+                    kv_bytes,
+                    frontier,
+                    ledger_len,
+                    next_tx_index,
+                    seed_entries,
+                })
+            }
             tag => Err(CodecError::BadTag { context: "ProtocolMsg", tag }),
         }
     }
@@ -932,6 +1042,30 @@ impl Wire for ProtocolMsg {
                 4 + entries.iter().map(Wire::encoded_len).sum::<usize>()
                     + next_seq.encoded_len()
                     + done.encoded_len()
+            }
+            ProtocolMsg::FetchLedgerTip => 0,
+            ProtocolMsg::LedgerTipResponse { tip, cp_seq, cp_kv_digest, cp_tree_root } => {
+                tip.encoded_len()
+                    + cp_seq.encoded_len()
+                    + cp_kv_digest.encoded_len()
+                    + cp_tree_root.encoded_len()
+            }
+            ProtocolMsg::FetchCheckpoint { seq } => seq.encoded_len(),
+            ProtocolMsg::FetchCheckpointResponse {
+                seq,
+                kv_bytes,
+                frontier,
+                ledger_len,
+                next_tx_index,
+                seed_entries,
+            } => {
+                seq.encoded_len()
+                    + kv_bytes.encoded_len()
+                    + frontier.encoded_len()
+                    + ledger_len.encoded_len()
+                    + next_tx_index.encoded_len()
+                    + 4
+                    + seed_entries.iter().map(Wire::encoded_len).sum::<usize>()
             }
         }
     }
@@ -1068,10 +1202,80 @@ mod tests {
                 next_seq: SeqNum(0),
                 done: true,
             },
+            ProtocolMsg::FetchLedgerTip,
+            ProtocolMsg::LedgerTipResponse {
+                tip: SeqNum(42),
+                cp_seq: SeqNum(40),
+                cp_kv_digest: hash_bytes(b"kv"),
+                cp_tree_root: hash_bytes(b"tree"),
+            },
+            ProtocolMsg::FetchCheckpoint { seq: SeqNum(40) },
+            ProtocolMsg::FetchCheckpointResponse {
+                seq: SeqNum(40),
+                kv_bytes: vec![1, 2, 3],
+                frontier: vec![4, 5],
+                ledger_len: 123,
+                next_tx_index: 77,
+                seed_entries: vec![vec![9], vec![], vec![8, 8]],
+            },
         ];
         for m in msgs {
             assert_eq!(ProtocolMsg::from_bytes(&m.to_bytes()).unwrap(), m);
         }
+    }
+
+    /// Wire-stability pin for the recovery tip/checkpoint messages —
+    /// same rationale as the page-message pin below.
+    #[test]
+    fn recovery_message_encoding_pin() {
+        let tip_req = ProtocolMsg::FetchLedgerTip;
+        let bytes = tip_req.to_bytes();
+        assert_eq!(bytes, [20], "FetchLedgerTip is just its tag");
+        assert_eq!(bytes.len(), tip_req.encoded_len());
+
+        let tip_resp = ProtocolMsg::LedgerTipResponse {
+            tip: SeqNum(5),
+            cp_seq: SeqNum(4),
+            cp_kv_digest: Digest([0xAB; 32]),
+            cp_tree_root: Digest([0xCD; 32]),
+        };
+        let bytes = tip_resp.to_bytes();
+        assert_eq!(bytes[0], 21, "LedgerTipResponse tag");
+        assert_eq!(bytes[1..9], [5, 0, 0, 0, 0, 0, 0, 0], "tip");
+        assert_eq!(bytes[9..17], [4, 0, 0, 0, 0, 0, 0, 0], "cp_seq");
+        assert_eq!(bytes[17..49], [0xAB; 32], "cp_kv_digest");
+        assert_eq!(bytes[49..81], [0xCD; 32], "cp_tree_root");
+        assert_eq!(bytes.len(), tip_resp.encoded_len());
+
+        let cp_req = ProtocolMsg::FetchCheckpoint { seq: SeqNum(4) };
+        let bytes = cp_req.to_bytes();
+        assert_eq!(bytes[0], 22, "FetchCheckpoint tag");
+        assert_eq!(bytes[1..], [4, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(bytes.len(), cp_req.encoded_len());
+
+        let cp_resp = ProtocolMsg::FetchCheckpointResponse {
+            seq: SeqNum(4),
+            kv_bytes: vec![0xEE],
+            frontier: vec![0xFF, 0xFE],
+            ledger_len: 9,
+            next_tx_index: 3,
+            seed_entries: vec![vec![0x11]],
+        };
+        let bytes = cp_resp.to_bytes();
+        assert_eq!(bytes[0], 23, "FetchCheckpointResponse tag");
+        assert_eq!(
+            bytes[1..],
+            [
+                4, 0, 0, 0, 0, 0, 0, 0, // seq
+                1, 0, 0, 0, 0xEE, // kv_bytes
+                2, 0, 0, 0, 0xFF, 0xFE, // frontier
+                9, 0, 0, 0, 0, 0, 0, 0, // ledger_len
+                3, 0, 0, 0, 0, 0, 0, 0, // next_tx_index
+                1, 0, 0, 0, // seed entry count
+                1, 0, 0, 0, 0x11, // one 1-byte seed entry
+            ],
+        );
+        assert_eq!(bytes.len(), cp_resp.encoded_len());
     }
 
     /// Wire-stability pin for the paged state-transfer messages: the tag

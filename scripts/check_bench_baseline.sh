@@ -68,6 +68,14 @@ compare refetch quick_ref_refetch_ops_per_sec refetch_ops_per_sec
 # transfer). Bytes/s to full recovery, quick configuration.
 compare sync quick_ref_sync_bytes_per_sec sync_bytes_per_sec
 
+# Recovery strategies (`--mode recovery` workload): bytes moved by a
+# genesis replay vs the checkpoint-seeded fast path over the identical
+# quick-mode history. Both counts are deterministic, so these should sit
+# at ratio 1.00 — any drift means the transfer itself changed shape
+# (e.g. the fast path silently re-inflated to O(history)).
+compare recovery-genesis quick_ref_recovery_genesis_bytes recovery_genesis_bytes
+compare recovery-ckpt quick_ref_recovery_ckpt_bytes recovery_ckpt_bytes
+
 # Transport path (`--mode c10k` workload; event-driven TCP runtime).
 # Load frames/s absorbed by the cluster, quick configuration.
 compare c10k quick_ref_c10k_frames_per_sec c10k_frames_per_sec

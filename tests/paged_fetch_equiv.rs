@@ -324,6 +324,21 @@ fn endless_transaction_stream_is_bounded_and_abandoned() {
     let mut fresh = spec.build_replica(3, Arc::new(CounterApp));
     let first_server = ReplicaId(0);
     let outs = fresh.begin_ledger_sync(first_server);
+    // The sync opens with the tip query; answer it from every peer (no
+    // checkpoint offers) so it proceeds to paging from `first_server`.
+    assert!(outs.iter().any(|o| matches!(o, Output::SendReplica(_, ProtocolMsg::FetchLedgerTip))));
+    let mut outs = Vec::new();
+    for r in 0..3 {
+        outs = fresh.handle(Input::Message {
+            from: NodeId::Replica(ReplicaId(r)),
+            msg: ProtocolMsg::LedgerTipResponse {
+                tip: SeqNum(0),
+                cp_seq: SeqNum(0),
+                cp_kv_digest: ia_ccf_crypto::Digest::zero(),
+                cp_tree_root: ia_ccf_crypto::Digest::zero(),
+            },
+        });
+    }
     assert!(outs
         .iter()
         .any(|o| matches!(o, Output::SendReplica(r, ProtocolMsg::FetchLedgerPage { .. }) if *r == first_server)));

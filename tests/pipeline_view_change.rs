@@ -472,14 +472,36 @@ fn view_change_mid_ledger_sync_does_not_corrupt_partial_state() {
     // simulator a sync resolves within one round).
     let mut fresh = spec.build_replica(3, Arc::new(CounterApp));
     let server = ReplicaId(1);
-    let mut requests: Vec<ia_ccf_types::ProtocolMsg> = fresh
-        .begin_ledger_sync(server)
-        .into_iter()
-        .filter_map(|o| match o {
-            ia_ccf::core::Output::SendReplica(to, msg) if to == server => Some(msg),
-            _ => None,
-        })
-        .collect();
+    // Answer the sync's opening tip query from every peer; the page
+    // request that follows (to `server`) seeds the hand-pumped queue.
+    let mut requests: Vec<ia_ccf_types::ProtocolMsg> = Vec::new();
+    for out in fresh.begin_ledger_sync(server) {
+        let ia_ccf::core::Output::SendReplica(peer, msg) = out else { continue };
+        let replies = cluster
+            .replicas
+            .get_mut(&peer)
+            .expect("peer")
+            .inner
+            .handle(ia_ccf::core::Input::Message {
+                from: ia_ccf::core::NodeId::Replica(fresh.id()),
+                msg,
+            });
+        for reply in replies {
+            if let ia_ccf::core::Output::SendReplica(to, msg) = reply {
+                if to != fresh.id() {
+                    continue;
+                }
+                let outs = fresh.handle(ia_ccf::core::Input::Message {
+                    from: ia_ccf::core::NodeId::Replica(peer),
+                    msg,
+                });
+                requests.extend(outs.into_iter().filter_map(|o| match o {
+                    ia_ccf::core::Output::SendReplica(to, msg) if to == server => Some(msg),
+                    _ => None,
+                }));
+            }
+        }
+    }
 
     // Pump exactly three pages (batches 1–3): the first frozen batch has
     // crossed the wire in its view-0 form — applied or held in the
