@@ -25,13 +25,18 @@
 //! pages/s and bytes/s to full recovery — the workload the resumable
 //! transfer protocol exists for.
 //!
-//! A fifth mode compares the two *recovery strategies*: **recovery**
+//! A fifth mode compares the *recovery strategies*: **recovery**
 //! commits a window with checkpoints agreed every 5 sequence numbers,
 //! crashes a replica, then recovers a fresh instance twice over the
 //! identical history — once replaying from genesis (O(history) bytes)
 //! and once through the checkpoint fast path (verified `KvCheckpoint`
-//! transfer plus the ledger suffix, O(window) bytes). Both byte counts
-//! are deterministic, which is what the baseline fence keys on.
+//! transfer plus the ledger suffix, O(window) bytes). A third leg gives
+//! the fast-path recoveree a durable `data_dir` (so the verified seed is
+//! persisted as checkpoint file + suffix segments), crashes it *again*,
+//! restarts it locally from its own disk and records the bytes its
+//! second sync moves: the missed suffix only, with the prefix crossing
+//! the network zero times. All byte counts are deterministic, which is
+//! what the baseline fence keys on.
 //!
 //! A sixth mode measures the *transport*: **c10k** stands up a real
 //! 4-replica cluster over localhost TCP (the event-driven `ia_ccf_net::tcp`
@@ -88,7 +93,7 @@ use ia_ccf_crypto::{verify_batch_indices, verify_batch_indices_on, KeyPair, Veri
 use ia_ccf_net::{frame, TcpNode};
 use ia_ccf_pool::WorkerPool;
 use ia_ccf_sim::metrics::Histogram;
-use ia_ccf_sim::{ClusterSpec, DetCluster};
+use ia_ccf_sim::{ClusterSpec, DetCluster, TempDir};
 use ia_ccf_types::{ClientId, ProtocolMsg, ReplicaId, Wire};
 
 struct BenchConfig {
@@ -391,9 +396,9 @@ fn run_sync_quick() -> SyncResult {
     run_sync(batches, batch_size, accounts)
 }
 
-/// Result of one recovery-comparison run pair: the same committed
-/// history recovered by a full genesis replay and by the checkpoint
-/// fast path.
+/// Result of one recovery-comparison run: the same committed history
+/// recovered by a full genesis replay, by the checkpoint fast path, and
+/// by a local restart from a persisted seed after a second crash.
 struct RecoveryResult {
     genesis_pages: u64,
     genesis_bytes: u64,
@@ -401,6 +406,12 @@ struct RecoveryResult {
     ckpt_bytes: u64,
     /// Sequence number of the agreed checkpoint the fast path restored.
     ckpt_seed: u64,
+    /// Bytes the durable double-crash leg moved on its *second* sync —
+    /// the suffix it missed while down; the prefix restarts from disk.
+    seeded_local_bytes: u64,
+    /// Second-sync bytes beyond the pure suffix oracle, i.e. prefix
+    /// bytes re-transferred over the network. Held at zero.
+    seeded_local_prefix_bytes: u64,
 }
 
 /// The quick-mode recovery workload — (commit rounds, round size,
@@ -423,10 +434,14 @@ const FULL_RECOVERY: (usize, usize, u64) = (40, 100, 1_000);
 /// checkpoints agreed every 5 sequence numbers, crash replica 3, then
 /// recover a fresh instance twice over the identical history — once with
 /// the checkpoint fast path disabled (full replay from genesis) and once
-/// enabled (verified `KvCheckpoint` transfer + ledger suffix pages).
-/// Both transfers are deterministic byte counts, which is what the
-/// baseline fence keys on — a change that silently re-inflates recovery
-/// to O(history) shifts the ratio far outside the envelope.
+/// enabled (verified `KvCheckpoint` transfer + ledger suffix pages). A
+/// third leg replays the fast path with a durable `data_dir`, crashes
+/// the seeded replica a second time, restarts it *locally* from the
+/// persisted checkpoint file + suffix segments and records its
+/// second-sync bytes — the missed window only, with zero prefix bytes on
+/// the wire. All transfers are deterministic byte counts, which is what
+/// the baseline fence keys on — a change that silently re-inflates
+/// recovery to O(history) shifts the ratio far outside the envelope.
 fn run_recovery(batches: usize, batch_size: usize, accounts: u64) -> RecoveryResult {
     let run = |fast_path: bool| -> ia_ccf_core::SyncReport {
         let n_clients = 4;
@@ -493,12 +508,112 @@ fn run_recovery(batches: usize, batch_size: usize, accounts: u64) -> RecoveryRes
         seeded.bytes,
         control.bytes
     );
+
+    // Third leg — the durable double-crash path. Same history, but the
+    // recoveree keeps a `data_dir`, so the fast path persists the
+    // verified checkpoint as the seeded durable layout (checkpoint file
+    // + suffix segments). It then crashes a *second* time while a window
+    // commits without it, and the restart is local: the prefix rebuilds
+    // from disk and only the missed suffix is paged over the network.
+    let (local_bytes, local_prefix_bytes) = {
+        let n_clients = 4;
+        let params = ProtocolParams { sync_page_bytes: 16 * 1024, ..ProtocolParams::default() };
+        let spec =
+            ClusterSpec::new(4, n_clients, params).with_config(|c| c.checkpoint_interval = 5);
+        let mut cluster = DetCluster::new(&spec, Arc::new(ia_ccf_smallbank::SmallBankApp));
+        let mut seed_kv = ia_ccf_kv::KvStore::new();
+        ia_ccf_smallbank::populate(&mut seed_kv, accounts, 10_000);
+        let cp = seed_kv.checkpoint();
+        let ids: Vec<_> = cluster.replicas.keys().copied().collect();
+        for id in ids {
+            cluster.replicas.get_mut(&id).expect("replica").inner.prime_kv(&cp);
+        }
+        let mut workloads: Vec<ia_ccf_smallbank::Workload> = (0..n_clients)
+            .map(|i| ia_ccf_smallbank::Workload::with_skew(accounts, 13_000 + i as u64, 0))
+            .collect();
+        let mut done = 0;
+        for _ in 0..batches {
+            for k in 0..batch_size {
+                let ci = k % n_clients;
+                let op = workloads[ci].next_op();
+                cluster.submit(spec.clients[ci].0, op.proc, op.args);
+            }
+            done += batch_size;
+            assert!(cluster.run_until_finished(done, 2_000), "seeded-local warm-up stalled");
+        }
+
+        // First crash: the replacement is durable, so the checkpoint
+        // fast path both seeds it and persists the seeded layout.
+        let tmp = TempDir::new("bench-recovery-local").expect("tempdir");
+        cluster.crash(ReplicaId(3));
+        let mut params3 = spec.params.clone();
+        params3.data_dir = Some(tmp.subdir("r3").expect("subdir"));
+        let mut fresh =
+            spec.build_replica_with(3, Arc::new(ia_ccf_smallbank::SmallBankApp), params3.clone());
+        fresh.prime_kv(&cp);
+        cluster.recover(fresh, ReplicaId(0));
+        assert!(
+            cluster.run_until(5_000, |c| c.replica(ReplicaId(3)).sync_report().complete),
+            "seeded-local first recovery did not complete: {:?}",
+            cluster.replica(ReplicaId(3)).sync_report()
+        );
+        let first = cluster.replica(ReplicaId(3)).sync_report();
+        assert!(first.checkpoint_seed.is_some(), "fast path must engage: {first:?}");
+        assert!(
+            cluster.replica(ReplicaId(3)).ledger().durable().map_or(0, |l| l.base()) > 0,
+            "the on-disk run must be a suffix after seeding"
+        );
+
+        // Second crash (clean — the byte count must stay deterministic),
+        // then a missed window commits while the replica is down.
+        drop(cluster.crash_and_drop(ReplicaId(3)).expect("replica 3 present"));
+        for k in 0..batch_size {
+            let ci = k % n_clients;
+            let op = workloads[ci].next_op();
+            cluster.submit(spec.clients[ci].0, op.proc, op.args);
+        }
+        done += batch_size;
+        assert!(cluster.run_until_finished(done, 2_000), "seeded-local missed window stalled");
+
+        // Local restart: checkpoint + prefix from disk, suffix over the
+        // network. No re-priming — the seed file carries the KV image.
+        let restarted = spec
+            .restart_replica(3, Arc::new(ia_ccf_smallbank::SmallBankApp), params3)
+            .expect("seeded local restart");
+        assert!(restarted.ledger().base() > 0, "restarted as a suffix ledger");
+        let suffix_bytes: u64 = cluster
+            .replica(ReplicaId(0))
+            .ledger_fetch_oracle(restarted.prepared_up_to().next())
+            .iter()
+            .map(|e| e.len() as u64)
+            .sum();
+        cluster.recover(restarted, ReplicaId(0));
+        assert!(
+            cluster.run_until(5_000, |c| c.replica(ReplicaId(3)).sync_report().complete),
+            "seeded-local second recovery did not complete: {:?}",
+            cluster.replica(ReplicaId(3)).sync_report()
+        );
+        let report = cluster.replica(ReplicaId(3)).sync_report();
+        assert!(report.checkpoint_seed.is_none(), "the prefix must come from disk: {report:?}");
+        let (recovered, server) = (cluster.replica(ReplicaId(3)), cluster.replica(ReplicaId(0)));
+        assert_eq!(recovered.ledger().len(), server.ledger().len());
+        assert_eq!(recovered.ledger().root_m(), server.ledger().root_m());
+        assert_eq!(recovered.kv().digest(), server.kv().digest());
+        (report.bytes, report.bytes.saturating_sub(suffix_bytes))
+    };
+    assert_eq!(
+        local_prefix_bytes, 0,
+        "a seeded local restart must move zero prefix bytes over the network"
+    );
+
     RecoveryResult {
         genesis_pages: control.pages,
         genesis_bytes: control.bytes,
         ckpt_pages: seeded.pages,
         ckpt_bytes: seeded.bytes,
         ckpt_seed: seeded.checkpoint_seed.expect("asserted above").0,
+        seeded_local_bytes: local_bytes,
+        seeded_local_prefix_bytes: local_prefix_bytes,
     }
 }
 
@@ -929,16 +1044,32 @@ fn main() {
         println!("=== pipeline_throughput --mode=recovery (4 replicas, SmallBank) ===");
         let r = run_recovery(batches, batch_size, accounts);
         println!(
-            "recovery: genesis_bytes={} ({} pages) ckpt_bytes={} ({} pages) ckpt_seed={}",
-            r.genesis_bytes, r.genesis_pages, r.ckpt_bytes, r.ckpt_pages, r.ckpt_seed
+            "recovery: genesis_bytes={} ({} pages) ckpt_bytes={} ({} pages) ckpt_seed={} \
+             seeded_local_bytes={} (prefix {})",
+            r.genesis_bytes,
+            r.genesis_pages,
+            r.ckpt_bytes,
+            r.ckpt_pages,
+            r.ckpt_seed,
+            r.seeded_local_bytes,
+            r.seeded_local_prefix_bytes
         );
         let _ = std::fs::create_dir_all("target/experiments");
         let json = format!(
             "{{\n  \"bench\": \"pipeline_throughput\",\n  \"mode\": \"recovery\",\n  \
              \"quick\": {},\n  \"recovery_genesis_pages\": {},\n  \
              \"recovery_genesis_bytes\": {},\n  \"recovery_ckpt_pages\": {},\n  \
-             \"recovery_ckpt_bytes\": {},\n  \"recovery_ckpt_seed\": {}\n}}\n",
-            cfg.quick, r.genesis_pages, r.genesis_bytes, r.ckpt_pages, r.ckpt_bytes, r.ckpt_seed
+             \"recovery_ckpt_bytes\": {},\n  \"recovery_ckpt_seed\": {},\n  \
+             \"recovery_seeded_local_bytes\": {},\n  \
+             \"recovery_seeded_local_prefix_bytes\": {}\n}}\n",
+            cfg.quick,
+            r.genesis_pages,
+            r.genesis_bytes,
+            r.ckpt_pages,
+            r.ckpt_bytes,
+            r.ckpt_seed,
+            r.seeded_local_bytes,
+            r.seeded_local_prefix_bytes
         );
         let path = "target/experiments/pipeline_recovery.json";
         std::fs::write(path, json).expect("write bench json");
@@ -987,8 +1118,13 @@ fn main() {
         println!("sync      (quick):    pages_s={:.1} bytes_s={:.1}", sync.pages_s, sync.bytes_s);
         let recovery = run_recovery_quick();
         println!(
-            "recovery  (quick):    genesis_bytes={} ckpt_bytes={} ckpt_seed={}",
-            recovery.genesis_bytes, recovery.ckpt_bytes, recovery.ckpt_seed
+            "recovery  (quick):    genesis_bytes={} ckpt_bytes={} ckpt_seed={} \
+             seeded_local_bytes={} (prefix {})",
+            recovery.genesis_bytes,
+            recovery.ckpt_bytes,
+            recovery.ckpt_seed,
+            recovery.seeded_local_bytes,
+            recovery.seeded_local_prefix_bytes
         );
         let c10k = run_c10k_quick();
         println!(
@@ -1007,6 +1143,8 @@ fn main() {
              \"sync_bytes_per_sec\": {:.1},\n  \
              \"recovery_genesis_bytes\": {},\n  \
              \"recovery_ckpt_bytes\": {},\n  \
+             \"recovery_seeded_local_bytes\": {},\n  \
+             \"recovery_seeded_local_prefix_bytes\": {},\n  \
              \"c10k_frames_per_sec\": {:.1},\n  \
              \"pool_threads\": {},\n  \
              \"verify_sigs_per_sec\": {:.1}\n}}\n",
@@ -1014,6 +1152,8 @@ fn main() {
             sync.bytes_s,
             recovery.genesis_bytes,
             recovery.ckpt_bytes,
+            recovery.seeded_local_bytes,
+            recovery.seeded_local_prefix_bytes,
             c10k.frames_s,
             verify.pool_threads,
             verify.pooled_sigs_s
@@ -1043,12 +1183,14 @@ fn main() {
         let recovery = run_recovery(rec_batches, rec_size, rec_accounts);
         println!(
             "recovery  (ckpt):     genesis_bytes={} ({} pages) ckpt_bytes={} ({} pages) \
-             ckpt_seed={}",
+             ckpt_seed={} seeded_local_bytes={} (prefix {})",
             recovery.genesis_bytes,
             recovery.genesis_pages,
             recovery.ckpt_bytes,
             recovery.ckpt_pages,
-            recovery.ckpt_seed
+            recovery.ckpt_seed,
+            recovery.seeded_local_bytes,
+            recovery.seeded_local_prefix_bytes
         );
         // The transport path, at full scale (the 2,000-connection floor
         // is enforced here — a thread-per-connection transport cannot
@@ -1098,6 +1240,8 @@ fn main() {
              \"recovery_genesis_pages\": {},\n  \"recovery_genesis_bytes\": {},\n  \
              \"recovery_ckpt_pages\": {},\n  \"recovery_ckpt_bytes\": {},\n  \
              \"recovery_ckpt_seed\": {},\n  \
+             \"recovery_seeded_local_bytes\": {},\n  \
+             \"recovery_seeded_local_prefix_bytes\": {},\n  \
              \"c10k_connections\": {},\n  \"c10k_frames_per_sec\": {:.1},\n  \
              \"c10k_threads\": {},\n  \"c10k_rss_mb\": {:.1},\n  \
              \"c10k_protocol_commits\": {},\n  \
@@ -1111,6 +1255,7 @@ fn main() {
              \"quick_ref_sync_bytes_per_sec\": {:.1},\n  \
              \"quick_ref_recovery_genesis_bytes\": {},\n  \
              \"quick_ref_recovery_ckpt_bytes\": {},\n  \
+             \"quick_ref_recovery_seeded_local_bytes\": {},\n  \
              \"quick_ref_c10k_frames_per_sec\": {:.1},\n  \
              \"quick_ref_verify_sigs_per_sec\": {:.1}\n}}\n",
             cfg.batches,
@@ -1132,6 +1277,8 @@ fn main() {
             recovery.ckpt_pages,
             recovery.ckpt_bytes,
             recovery.ckpt_seed,
+            recovery.seeded_local_bytes,
+            recovery.seeded_local_prefix_bytes,
             c10k.connections,
             c10k.frames_s,
             c10k.threads,
@@ -1146,6 +1293,7 @@ fn main() {
             quick_sync.bytes_s,
             quick_recovery.genesis_bytes,
             quick_recovery.ckpt_bytes,
+            quick_recovery.seeded_local_bytes,
             quick_c10k.frames_s,
             quick_verify.pooled_sigs_s
         );

@@ -208,7 +208,8 @@ impl Replica {
             return Err(BootstrapError::NoGenesis);
         };
         let genesis: Configuration = config.clone();
-        let mut replica = Replica::new(id, keypair, genesis, app, params, client_keys);
+        let mut replica = Replica::new(id, keypair, genesis, app, params, client_keys)
+            .map_err(|e| BootstrapError::Malformed(format!("replica init: {e}")))?;
         replica.replay_entries(&entries[1..], 1)?;
         Ok(replica)
     }
@@ -650,6 +651,14 @@ impl Replica {
         }
 
         // ---- everything verified: restore ----
+        // The genesis entry (if this replica materializes it) rides into
+        // the persisted seed: a seeded restart must rebuild the service
+        // configuration and `H(gt)` without a ledger prefix. Captured
+        // before the suffix ledger replaces the full one.
+        let genesis_entry = self
+            .ledger
+            .entry(ia_ccf_types::LedgerIdx(0))
+            .map(|e| e.to_bytes());
         self.kv.restore(&cp);
         let mut ledger = Ledger::from_checkpoint(ledger_len, frontier.clone());
         for entry in &decoded {
@@ -684,7 +693,83 @@ impl Replica {
             ledger_len,
             next_tx_index,
         });
+        // A durable replica persists what it just verified so its *next*
+        // crash restarts locally (a local seeded restart runs with
+        // `data_dir` unset, so this never re-persists its own input).
+        if self.params.data_dir.is_some() {
+            if let Some(genesis_entry) = genesis_entry {
+                self.persist_checkpoint_seed(crate::seedfile::SeedCheckpointFile {
+                    seq: pinned.seq,
+                    kv_digest: pinned.kv_digest,
+                    tree_root: pinned.tree_root,
+                    ledger_len,
+                    next_tx_index,
+                    genesis_entry,
+                    kv_bytes: kv_bytes.to_vec(),
+                    frontier_bytes: frontier_bytes.to_vec(),
+                    seed_entries: seed_entries.to_vec(),
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// Swap the durable directory to the seeded layout around a
+    /// just-verified checkpoint restore. Ordered for crash safety: the
+    /// seed file lands first (a crash here leaves the intact base-0 run,
+    /// which a restart prefers), then the pre-crash prefix segments
+    /// retire into `archive/`, then the suffix manifest commits the new
+    /// layout and the empty suffix run attaches — the attach reconcile
+    /// writes the seed batch's entries as its first bytes. Best-effort:
+    /// any failure detaches durability with the one-shot warning instead
+    /// of failing the restore (the replica is already correct in
+    /// memory; safety rests on the quorum).
+    fn persist_checkpoint_seed(&mut self, file: crate::seedfile::SeedCheckpointFile) {
+        let Some(dir) = self.params.data_dir.clone() else {
+            return;
+        };
+        let fsync = self.params.fsync_interval_batches;
+        let roll = self.params.resolved_durable_roll_bytes();
+        let base = file.ledger_len;
+        let result = (|| -> std::io::Result<()> {
+            file.write_atomic(&dir)?;
+            // The replaced ledger (and its open segment file handles)
+            // was dropped when the suffix ledger took its place, so the
+            // renames below never race an open mirror.
+            ia_ccf_ledger::DurableLog::retire_to_archive(&dir, base)?;
+            let log = ia_ccf_ledger::DurableLog::create_suffix(&dir, fsync, roll, base)?;
+            self.ledger.attach_durable(log).map_err(std::io::Error::other)
+        })();
+        if let Err(e) = result {
+            self.ledger.note_durability_lost(&format!("checkpoint seed persistence: {e}"));
+        }
+    }
+
+    /// Re-run the checkpoint verification chain against a locally
+    /// persisted seed file and restore from it — the restart-from-disk
+    /// twin of the network fast-path. The pinned digests come from the
+    /// file; they were agreed in-band (through `f+1` matching mark-batch
+    /// offers) when the seed was persisted, and the load path already
+    /// digest-checked the payload bytes against them.
+    pub(crate) fn restore_checkpoint_from_seed(
+        &mut self,
+        seed: &crate::seedfile::SeedCheckpointFile,
+    ) -> Result<(), BootstrapError> {
+        self.verify_and_restore_checkpoint(
+            TipCheckpoint {
+                seq: seed.seq,
+                kv_digest: seed.kv_digest,
+                tree_root: seed.tree_root,
+            },
+            &seed.kv_bytes,
+            &seed.frontier_bytes,
+            seed.ledger_len,
+            seed.next_tx_index,
+            &seed.seed_entries,
+        )
+        .map_err(|why| {
+            BootstrapError::Malformed(format!("durable seed checkpoint rejected: {why}"))
+        })
     }
 
     /// Counters of the most recent (or running) ledger sync.

@@ -34,6 +34,7 @@ pub mod params;
 pub mod pipeline;
 pub mod reconfig;
 pub mod replica;
+pub mod seedfile;
 pub mod viewchange;
 
 pub use app::{App, AppError, AppRegistry, NullApp};
@@ -43,4 +44,5 @@ pub use checkpoint::{CheckpointRecord, CheckpointStore};
 pub use events::{Input, NodeId, Output};
 pub use params::{ProtocolParams, ReplicaAuth};
 pub use pipeline::ReceiptCacheStats;
-pub use replica::Replica;
+pub use replica::{Replica, ReplicaInitError};
+pub use seedfile::SeedCheckpointFile;

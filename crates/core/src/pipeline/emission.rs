@@ -450,6 +450,15 @@ impl Replica {
     /// 64 MiB frame limit, so a page response is never unframable — the
     /// seed's sender-side panic for oversized monolithic responses is no
     /// longer constructible on this path.
+    ///
+    /// A checkpoint-seeded server holds a *suffix* ledger — entries
+    /// before its base (persisted on disk as the seed checkpoint plus
+    /// suffix segments, see `ia_ccf_ledger::DurableLog::create_suffix`)
+    /// read as `None` — so `fetch_start_pos` floors the page at the
+    /// base: such a replica can serve its own suffix but never the
+    /// pre-base prefix. Recoverees needing older history page from a
+    /// full-history replica instead (the requester fails over on an
+    /// empty page).
     pub(crate) fn serve_ledger_page(&mut self, sender: ReplicaId, from_seq: SeqNum, max_bytes: u64) {
         let budget =
             max_bytes.clamp(1, ia_ccf_types::messages::PAGE_CEILING_BYTES as u64);

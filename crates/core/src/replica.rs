@@ -19,8 +19,8 @@ use ia_ccf_governance::GovernanceState;
 use ia_ccf_kv::ShardedKvStore;
 use ia_ccf_ledger::Ledger;
 use ia_ccf_types::{
-    ClientId, Configuration, Digest, LedgerIdx, Nonce, PrePrepare, ProtocolMsg, PublicKey,
-    ReplicaId, Request, RequestAction, SeqNum, Signature, SignedRequest, View, Wire,
+    ClientId, Configuration, Digest, LedgerEntry, LedgerIdx, Nonce, PrePrepare, ProtocolMsg,
+    PublicKey, ReplicaId, Request, RequestAction, SeqNum, Signature, SignedRequest, View, Wire,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -144,8 +144,43 @@ pub struct Replica {
     pub(crate) out: Vec<Output>,
 }
 
+/// Why [`Replica::new`] could not claim its durable data directory. A
+/// replica constructed without `params.data_dir` cannot fail.
+#[derive(Debug)]
+pub enum ReplicaInitError {
+    /// `params.data_dir` already holds durable state (segment files, a
+    /// suffix manifest, or a seed checkpoint) from a previous replica
+    /// instance. Claiming it would silently destroy that history; set
+    /// [`ProtocolParams::wipe_existing_data_dir`] to opt into deletion,
+    /// or restart from the state via [`Replica::restart_from_dir`].
+    DataDirNotEmpty(std::path::PathBuf),
+    /// Opening, wiping or writing the durable directory failed.
+    Io(std::io::Error),
+    /// The freshly opened log could not attach to the genesis ledger.
+    Attach(ia_ccf_ledger::AttachError),
+}
+
+impl std::fmt::Display for ReplicaInitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaInitError::DataDirNotEmpty(dir) => write!(
+                f,
+                "data directory {} holds durable state from a previous replica \
+                 (use restart_from_dir, or set wipe_existing_data_dir)",
+                dir.display()
+            ),
+            ReplicaInitError::Io(e) => write!(f, "durable data directory: {e}"),
+            ReplicaInitError::Attach(e) => write!(f, "durable ledger attach: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaInitError {}
+
 impl Replica {
-    /// A replica starting from genesis.
+    /// A replica starting from genesis. Fallible only when
+    /// `params.data_dir` is set: claiming the directory refuses existing
+    /// durable state unless `params.wipe_existing_data_dir` opts in.
     pub fn new(
         id: ReplicaId,
         keypair: ia_ccf_crypto::KeyPair,
@@ -153,7 +188,7 @@ impl Replica {
         app: Arc<dyn App>,
         params: ProtocolParams,
         client_keys: impl IntoIterator<Item = (ClientId, PublicKey)>,
-    ) -> Self {
+    ) -> Result<Self, ReplicaInitError> {
         let ledger = Ledger::new(genesis.clone());
         let gt_hash = ledger.genesis_hash().expect("genesis present");
         let kv = ShardedKvStore::new(params.resolved_execution_shards());
@@ -220,17 +255,29 @@ impl Replica {
             out: Vec::new(),
         };
         // A data directory makes the ledger durable from the first
-        // append. `new` *claims* the directory for a fresh history
-        // (whatever is on disk is reconciled down to the genesis entry);
-        // restarting from existing segment files is
+        // append. `new` *claims* the directory for a fresh history: a
+        // directory already holding durable state is refused (silently
+        // reconciling a previous instance's history down to genesis
+        // destroys it) unless `wipe_existing_data_dir` opts into the
+        // deletion. Restarting from existing state is
         // [`Replica::restart_from_dir`].
         if let Some(dir) = replica.params.data_dir.clone() {
-            let (log, _existing) =
-                ia_ccf_ledger::DurableLog::open(&dir, replica.params.fsync_interval_batches)
-                    .expect("open durable ledger directory");
-            replica.ledger.attach_durable(log).expect("attach durable ledger");
+            if ia_ccf_ledger::DurableLog::dir_is_occupied(&dir) {
+                if replica.params.wipe_existing_data_dir {
+                    ia_ccf_ledger::DurableLog::wipe_dir(&dir).map_err(ReplicaInitError::Io)?;
+                } else {
+                    return Err(ReplicaInitError::DataDirNotEmpty(dir));
+                }
+            }
+            let (log, _existing) = ia_ccf_ledger::DurableLog::open_with_roll(
+                &dir,
+                replica.params.fsync_interval_batches,
+                replica.params.resolved_durable_roll_bytes(),
+            )
+            .map_err(ReplicaInitError::Io)?;
+            replica.ledger.attach_durable(log).map_err(ReplicaInitError::Attach)?;
         }
-        replica
+        Ok(replica)
     }
 
     /// Rebuild a crashed replica from its durable ledger directory
@@ -242,6 +289,16 @@ impl Replica {
     /// state byte for byte. The replica then resumes — typically via
     /// [`Replica::begin_ledger_sync`], which pages only from its first
     /// missing batch (the applied prefix is never re-fetched).
+    ///
+    /// Two on-disk layouts restart. A **full-history** directory (base-0
+    /// segments, no seed file) replays from genesis. A **seeded**
+    /// directory — `checkpoint.cp` plus a suffix segment run whose
+    /// manifest base equals the seed's ledger length — re-runs the seed's
+    /// verification chain locally, replays only the surviving suffix
+    /// tail, and leaves the paged sync to fetch just the batches past its
+    /// durable frontier: the prefix costs zero network bytes. A seed file
+    /// next to a *non-empty base-0 run* means the crash landed before the
+    /// prefix retired; the full history is intact and wins.
     pub fn restart_from_dir(
         id: ReplicaId,
         keypair: ia_ccf_crypto::KeyPair,
@@ -250,15 +307,128 @@ impl Replica {
         client_keys: impl IntoIterator<Item = (ClientId, PublicKey)>,
     ) -> Result<Replica, crate::bootstrap::BootstrapError> {
         use crate::bootstrap::BootstrapError;
-        let dir = params.data_dir.clone().expect("restart_from_dir needs params.data_dir");
-        let (log, raw) = ia_ccf_ledger::DurableLog::open(&dir, params.fsync_interval_batches)
-            .map_err(|e| BootstrapError::Malformed(format!("durable log: {e}")))?;
+        let Some(dir) = params.data_dir.clone() else {
+            return Err(BootstrapError::Malformed(
+                "restart_from_dir needs params.data_dir".into(),
+            ));
+        };
+        let (log, raw) = ia_ccf_ledger::DurableLog::open_with_roll(
+            &dir,
+            params.fsync_interval_batches,
+            params.resolved_durable_roll_bytes(),
+        )
+        .map_err(|e| BootstrapError::Malformed(format!("durable log: {e}")))?;
+        let seed = crate::seedfile::SeedCheckpointFile::load(&dir)
+            .map_err(|e| BootstrapError::Malformed(format!("seed checkpoint: {e}")))?;
+        match seed {
+            None if log.base() == 0 => {
+                Self::restart_full_history(id, keypair, app, params, client_keys, dir, log, raw)
+            }
+            None => Err(BootstrapError::Malformed(format!(
+                "suffix segments at base {} without a seed checkpoint file",
+                log.base()
+            ))),
+            Some(_) if log.base() == 0 && !raw.is_empty() => {
+                Self::restart_full_history(id, keypair, app, params, client_keys, dir, log, raw)
+            }
+            Some(seed) => {
+                Self::restart_seeded(id, keypair, app, params, client_keys, dir, log, raw, seed)
+            }
+        }
+    }
+
+    /// Full-history restart: structural repair, replay from genesis,
+    /// re-attach. Bootstrap replays in memory first; the held log
+    /// attaches after, so replay never double-writes the files it was
+    /// read from.
+    #[allow(clippy::too_many_arguments)]
+    fn restart_full_history(
+        id: ReplicaId,
+        keypair: ia_ccf_crypto::KeyPair,
+        app: Arc<dyn App>,
+        params: ProtocolParams,
+        client_keys: impl IntoIterator<Item = (ClientId, PublicKey)>,
+        dir: std::path::PathBuf,
+        log: ia_ccf_ledger::DurableLog,
+        raw: Vec<LedgerEntry>,
+    ) -> Result<Replica, crate::bootstrap::BootstrapError> {
+        use crate::bootstrap::BootstrapError;
         let keep = Self::structural_prefix(&raw);
-        // Bootstrap replays in memory first; the held log attaches after,
-        // so replay never double-writes the files it was read from.
         let mut boot_params = params;
         boot_params.data_dir = None;
         let mut replica = Self::bootstrap(id, keypair, app, boot_params, client_keys, &raw[..keep])?;
+        replica.params.data_dir = Some(dir);
+        replica
+            .ledger
+            .attach_durable(log)
+            .map_err(|e| BootstrapError::Malformed(format!("durable log: {e}")))?;
+        Ok(replica)
+    }
+
+    /// Seeded restart: rebuild the replica from the persisted seed
+    /// checkpoint (re-running the full verification chain a network
+    /// fast-path would), then structural-repair and replay the suffix
+    /// tail that survived on disk. No network traffic — the caller's
+    /// paged sync covers only batches past the durable frontier.
+    #[allow(clippy::too_many_arguments)]
+    fn restart_seeded(
+        id: ReplicaId,
+        keypair: ia_ccf_crypto::KeyPair,
+        app: Arc<dyn App>,
+        params: ProtocolParams,
+        client_keys: impl IntoIterator<Item = (ClientId, PublicKey)>,
+        dir: std::path::PathBuf,
+        mut log: ia_ccf_ledger::DurableLog,
+        mut raw: Vec<LedgerEntry>,
+        seed: crate::seedfile::SeedCheckpointFile,
+    ) -> Result<Replica, crate::bootstrap::BootstrapError> {
+        use crate::bootstrap::BootstrapError;
+        let fsync = params.fsync_interval_batches;
+        let roll = params.resolved_durable_roll_bytes();
+        // Normalize the suffix log. `base == ledger_len` is the committed
+        // layout; an *empty* base-0 log next to a seed file means the
+        // crash landed after the prefix retired but before the manifest
+        // committed — recreate the empty suffix run at the seed point.
+        if log.base() == 0 && raw.is_empty() {
+            drop(log);
+            log = ia_ccf_ledger::DurableLog::create_suffix(&dir, fsync, roll, seed.ledger_len)
+                .map_err(|e| BootstrapError::Malformed(format!("durable log: {e}")))?;
+        } else if log.base() != seed.ledger_len {
+            return Err(BootstrapError::Malformed(format!(
+                "suffix log base {} does not match the seed checkpoint's ledger length {}",
+                log.base(),
+                seed.ledger_len
+            )));
+        }
+        // Rebuild from the seed: genesis configuration first (the suffix
+        // holds no genesis entry), then the verified checkpoint restore —
+        // the same chain a network-seeded recovery runs.
+        let genesis = match LedgerEntry::from_bytes(&seed.genesis_entry) {
+            Ok(LedgerEntry::Genesis { config }) => config,
+            _ => return Err(BootstrapError::NoGenesis),
+        };
+        let mut boot_params = params;
+        boot_params.data_dir = None;
+        let mut replica = Replica::new(id, keypair, genesis, app, boot_params, client_keys)
+            .map_err(|e| BootstrapError::Malformed(format!("replica init: {e}")))?;
+        replica.restore_checkpoint_from_seed(&seed)?;
+        // The suffix run opens with the seed batch's own entries (the
+        // attach reconcile wrote them at seed time). A disk run that does
+        // not reproduce them byte for byte — or stops short of them — is
+        // corruption or a torn reconcile: drop the run entirely; the
+        // restored seed plus paged sync re-covers it.
+        let n = seed.seed_entries.len();
+        let matches = raw.len() >= n
+            && raw[..n].iter().zip(&seed.seed_entries).all(|(e, b)| &e.to_bytes() == b);
+        if !matches {
+            log.truncate_entries(0)
+                .map_err(|e| BootstrapError::Malformed(format!("durable log: {e}")))?;
+            raw.clear();
+        }
+        let tail = &raw[n.min(raw.len())..];
+        let base = replica.ledger.len() as usize;
+        let keep = Self::structural_prefix_at(tail, base);
+        replica.replay_entries(&tail[..keep], base)?;
         replica.params.data_dir = Some(dir);
         replica
             .ledger
@@ -275,28 +445,32 @@ impl Replica {
     /// crash between them leaves a structurally incomplete tail that must
     /// be cut — never parsed into state. Committed batches are always
     /// complete on disk, so the cut only ever drops an unfinished tail.
-    fn structural_prefix(raw: &[ia_ccf_types::LedgerEntry]) -> usize {
-        use ia_ccf_ledger::segment::segment_complete_prefix;
+    fn structural_prefix(raw: &[LedgerEntry]) -> usize {
         if raw.len() <= 1 {
             return raw.len();
         }
-        let body = &raw[1..];
-        let mut end = body.len();
-        loop {
-            match segment_complete_prefix(&body[..end], 1) {
-                Ok((_, consumed)) => return 1 + consumed,
+        1 + Self::structural_prefix_at(&raw[1..], 1)
+    }
+
+    /// [`Replica::structural_prefix`] for a post-genesis entry run
+    /// starting at absolute ledger position `base` — also the repair for
+    /// a seeded restart's suffix tail, whose entries never include
+    /// genesis.
+    fn structural_prefix_at(entries: &[LedgerEntry], base: usize) -> usize {
+        use ia_ccf_ledger::segment::segment_complete_prefix;
+        let mut end = entries.len();
+        while end > 0 {
+            match segment_complete_prefix(&entries[..end], base) {
+                Ok((_, consumed)) => return consumed,
                 Err(e) => {
                     // Structure broken *before* the tail (corruption, not
                     // a clean crash cut): retry on the prefix before the
                     // offending entry until something parses.
-                    let new_end = e.at.min(end.saturating_sub(1));
-                    if new_end == 0 {
-                        return 1;
-                    }
-                    end = new_end;
+                    end = e.at.min(end - 1);
                 }
             }
         }
+        0
     }
 
     // ------------------------------------------------------------------
@@ -326,6 +500,12 @@ impl Replica {
     /// The ledger.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
+    }
+    /// Mutable ledger access for fault-injecting test harnesses (e.g.
+    /// arming a durable write failure on the next append).
+    #[doc(hidden)]
+    pub fn ledger_harness_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
     }
     /// The key-value store.
     pub fn kv(&self) -> &ShardedKvStore {

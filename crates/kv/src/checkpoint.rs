@@ -107,6 +107,18 @@ impl KvCheckpoint {
         }
         Some(KvCheckpoint { digest, entries })
     }
+
+    /// Decode and integrity-check in one step: the loading path for
+    /// checkpoints read back from untrusted bytes (a disk file, a
+    /// transfer payload), where a decodable snapshot whose contents do
+    /// not reproduce its advertised digest must read as absent. The
+    /// caller still compares the digest against the one agreed through
+    /// the protocol — integrity says the bytes are self-consistent, not
+    /// that they are the *agreed* snapshot.
+    pub fn from_bytes_verified(bytes: &[u8]) -> Option<Self> {
+        let cp = Self::from_bytes(bytes)?;
+        cp.verify_integrity().then_some(cp)
+    }
 }
 
 /// Split one `u32`-length-prefixed chunk off `bytes`.

@@ -23,7 +23,7 @@ pub mod segment;
 pub mod store;
 pub mod subledger;
 
-pub use durable::DurableLog;
+pub use durable::{DurableLog, ARCHIVE_DIR, CHECKPOINT_FILE, MANIFEST_FILE};
 pub use segment::{segment_entries, Segment, SegmentError};
-pub use store::Ledger;
+pub use store::{AttachError, Ledger};
 pub use subledger::governance_tx_indices;

@@ -9,6 +9,42 @@ use ia_ccf_types::{
 
 use crate::durable::DurableLog;
 
+/// Why a [`DurableLog`] could not be attached to a [`Ledger`].
+#[derive(Debug)]
+pub enum AttachError {
+    /// The log's segment run starts at a different absolute index than
+    /// the ledger — e.g. a full-history log offered to a suffix ledger
+    /// or vice versa. Attaching would silently misindex every entry.
+    BaseMismatch {
+        /// First absolute index the on-disk run represents.
+        log_base: u64,
+        /// First absolute index the ledger materializes.
+        ledger_base: u64,
+    },
+    /// Disk I/O failed while reconciling the log with the ledger.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::BaseMismatch { log_base, ledger_base } => write!(
+                f,
+                "durable log base {log_base} does not match ledger base {ledger_base}"
+            ),
+            AttachError::Io(e) => write!(f, "durable log reconcile I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+impl From<std::io::Error> for AttachError {
+    fn from(e: std::io::Error) -> Self {
+        AttachError::Io(e)
+    }
+}
+
 /// The Merkle tree `M`, in one of two representations: the full tree
 /// (normal operation — supports membership paths), or a checkpoint
 /// *continuation* that knows only the frontier at the checkpoint plus the
@@ -131,9 +167,12 @@ pub struct Ledger {
     /// applied (dedup must key on ledger *content*: a rollback can remove
     /// the entries while the replica's view number stays advanced).
     nv_entries: Vec<(u64, View)>,
-    /// On-disk mirror, when this replica runs durable. Never attached to
-    /// a suffix-mode ledger.
+    /// On-disk mirror, when this replica runs durable. A suffix-mode
+    /// ledger attaches a suffix log whose base matches its own.
     durable: Option<DurableLog>,
+    /// Latched when a durable I/O failure forced the mirror off mid-run
+    /// (consensus keeps going; safety rests on the quorum, not one disk).
+    durability_lost: bool,
 }
 
 impl Clone for Ledger {
@@ -150,6 +189,7 @@ impl Clone for Ledger {
             pp_by_seq: self.pp_by_seq.clone(),
             nv_entries: self.nv_entries.clone(),
             durable: None,
+            durability_lost: self.durability_lost,
         }
     }
 }
@@ -172,6 +212,7 @@ impl Ledger {
             pp_by_seq: BTreeMap::new(),
             nv_entries: Vec::new(),
             durable: None,
+            durability_lost: false,
         }
     }
 
@@ -190,6 +231,7 @@ impl Ledger {
             pp_by_seq: BTreeMap::new(),
             nv_entries: Vec::new(),
             durable: None,
+            durability_lost: false,
         }
     }
 
@@ -199,18 +241,27 @@ impl Ledger {
         self.base
     }
 
-    /// Attach an on-disk mirror. The log and the in-memory state are
-    /// reconciled first — the log is truncated to the ledger's length
-    /// (structural repair may have cut entries the byte-level repair
-    /// kept) and any in-memory entries the log is missing are appended —
-    /// so afterwards the two always hold the same entries. Suffix-mode
-    /// ledgers cannot be durable (the log could not represent the hole).
-    pub fn attach_durable(&mut self, mut log: DurableLog) -> std::io::Result<()> {
-        assert_eq!(self.base, 0, "a suffix ledger cannot attach a durable log");
-        if log.entry_count() > self.len() {
-            log.truncate_entries(self.len())?;
+    /// Attach an on-disk mirror. The log's base must equal the ledger's
+    /// ([`AttachError::BaseMismatch`] otherwise): a full-history ledger
+    /// takes a base-0 log, a checkpoint-seeded suffix ledger takes a
+    /// suffix log created at its restore point. The log and the
+    /// in-memory state are then reconciled — the log is truncated to the
+    /// ledger's materialized length (structural repair may have cut
+    /// entries the byte-level repair kept) and any in-memory entries the
+    /// log is missing are appended — so afterwards the two always hold
+    /// the same entries.
+    pub fn attach_durable(&mut self, mut log: DurableLog) -> Result<(), AttachError> {
+        if log.base() != self.base {
+            return Err(AttachError::BaseMismatch {
+                log_base: log.base(),
+                ledger_base: self.base,
+            });
         }
-        while log.entry_count() < self.len() {
+        let want = self.entries.len() as u64;
+        if log.entry_count() > want {
+            log.truncate_entries(want)?;
+        }
+        while log.entry_count() < want {
             let i = log.entry_count() as usize;
             let entry = &self.entries[i];
             log.append_chunk(
@@ -220,7 +271,31 @@ impl Ledger {
         }
         log.fsync_tail()?;
         self.durable = Some(log);
+        self.durability_lost = false;
         Ok(())
+    }
+
+    /// Whether a durable I/O failure forced the on-disk mirror off while
+    /// the replica kept running — the operator-facing gauge behind the
+    /// one-shot warning.
+    pub fn durability_lost(&self) -> bool {
+        self.durability_lost
+    }
+
+    /// Drop the durable mirror after an unrecoverable write error,
+    /// latching the [`Ledger::durability_lost`] gauge and warning once.
+    /// Consensus continues in-memory: safety rests on the quorum, and a
+    /// lost mirror only costs this replica its local fast restart.
+    pub fn note_durability_lost(&mut self, why: &str) {
+        if !self.durability_lost {
+            eprintln!(
+                "[ia-ccf] WARNING: durable ledger detached ({why}); \
+                 continuing without the on-disk mirror — this replica \
+                 will re-page from peers after its next restart"
+            );
+        }
+        self.durability_lost = true;
+        self.durable = None;
     }
 
     /// The attached durable log, if any (harness access: sync watermarks,
@@ -258,12 +333,17 @@ impl Ledger {
         if let LedgerEntry::NewView(nv) = &entry {
             self.nv_entries.push((idx, nv.view));
         }
+        let mut write_err = None;
         if let Some(log) = &mut self.durable {
-            log.append_chunk(
+            if let Err(e) = log.append_chunk(
                 std::slice::from_ref(&entry),
                 matches!(entry, LedgerEntry::PrePrepare(_)),
-            )
-            .expect("durable ledger append");
+            ) {
+                write_err = Some(e);
+            }
+        }
+        if let Some(e) = write_err {
+            self.note_durability_lost(&format!("append failed: {e}"));
         }
         self.entries.push(entry);
         LedgerIdx(idx)
@@ -291,16 +371,21 @@ impl Ledger {
                 self.nv_entries.push((idx, nv.view));
             }
         }
+        let mut write_err = None;
         if let Some(log) = &mut self.durable {
             // One batch = one chunk: the torn-tail repair unit. A chunk
             // counts toward the fsync interval iff it carries the batch's
             // pre-prepare (the evidence-pair chunk of the same batch does
             // not double-count it).
-            log.append_chunk(
+            if let Err(e) = log.append_chunk(
                 &batch,
                 batch.iter().any(|e| matches!(e, LedgerEntry::PrePrepare(_))),
-            )
-            .expect("durable ledger append");
+            ) {
+                write_err = Some(e);
+            }
+        }
+        if let Some(e) = write_err {
+            self.note_durability_lost(&format!("batch append failed: {e}"));
         }
         self.tree.extend(m_leaves);
         self.entries.reserve(batch.len());
@@ -461,18 +546,28 @@ impl Ledger {
                 }
             }
         }
+        let mut write_err = None;
         if let Some(log) = &mut self.durable {
-            // Mirror the cut: the log truncates to the chunk floor and
-            // the gap (if the cut landed mid-chunk) is re-appended from
-            // the surviving in-memory entries.
-            let floor = log.truncate_entries(new_len).expect("durable ledger truncate");
-            for e in &self.entries[floor as usize..] {
-                log.append_chunk(
-                    std::slice::from_ref(e),
-                    matches!(e, LedgerEntry::PrePrepare(_)),
-                )
-                .expect("durable ledger re-append");
+            // Mirror the cut (in log-relative entries): the log truncates
+            // to the chunk floor and the gap (if the cut landed mid-chunk)
+            // is re-appended from the surviving in-memory entries.
+            match log.truncate_entries(new_len - self.base) {
+                Err(e) => write_err = Some(e),
+                Ok(floor) => {
+                    for e in &self.entries[floor as usize..] {
+                        if let Err(e) = log.append_chunk(
+                            std::slice::from_ref(e),
+                            matches!(e, LedgerEntry::PrePrepare(_)),
+                        ) {
+                            write_err = Some(e);
+                            break;
+                        }
+                    }
+                }
             }
+        }
+        if let Some(e) = write_err {
+            self.note_durability_lost(&format!("rollback mirror failed: {e}"));
         }
     }
 
@@ -497,10 +592,13 @@ impl Ledger {
         let (lo, hi) = self.clamp_range(from, to_exclusive);
         if let Some(log) = &self.durable {
             // The mirror is reconciled on every append/truncate, so it
-            // always holds exactly the in-memory entries (base == 0).
-            return log
-                .read_encoded_range(lo as u64, hi as u64)
-                .expect("durable ledger read");
+            // always holds exactly the in-memory entries (at matching
+            // relative positions). A read error falls back to the
+            // in-memory encoding — serving pages must not depend on one
+            // disk staying healthy.
+            if let Ok(encoded) = log.read_encoded_range(lo as u64, hi as u64) {
+                return encoded;
+            }
         }
         self.entries[lo..hi].iter().map(|e| e.to_bytes()).collect()
     }
@@ -928,5 +1026,140 @@ mod tests {
         let (_, reopened) = crate::durable::DurableLog::open(&dir, 1).unwrap();
         assert_eq!(reopened, expect, "attach cut the log back to the ledger");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attach_base_mismatch_is_a_typed_error() {
+        let dir = std::env::temp_dir()
+            .join(format!("iaccf-store-mismatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A full-history (base-0) log offered to a suffix ledger.
+        let (full, _) = crate::durable::DurableLog::open(&dir, 1).unwrap();
+        let mut suffix = Ledger::from_checkpoint(7, Frontier::new());
+        match suffix.attach_durable(full) {
+            Err(AttachError::BaseMismatch { log_base: 0, ledger_base: 7 }) => {}
+            other => panic!("expected BaseMismatch, got {other:?}"),
+        }
+        assert!(suffix.durable().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // And the other direction: a suffix log on a full ledger.
+        let dir2 = std::env::temp_dir()
+            .join(format!("iaccf-store-mismatch2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir2);
+        let log = crate::durable::DurableLog::create_suffix(
+            &dir2,
+            1,
+            crate::durable::DurableLog::DEFAULT_ROLL_BYTES,
+            7,
+        )
+        .unwrap();
+        let (mut ledger, _) = ledger4();
+        assert!(matches!(
+            ledger.attach_durable(log),
+            Err(AttachError::BaseMismatch { log_base: 7, ledger_base: 0 })
+        ));
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn suffix_ledger_attaches_suffix_log_and_serves_from_disk() {
+        let dir = std::env::temp_dir()
+            .join(format!("iaccf-store-suffix-log-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (full, rk) = {
+            let (mut full, rk) = ledger4();
+            full.append(LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] });
+            full.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk[0])));
+            (full, rk)
+        };
+        let cut = full.len();
+        let mut suffix = Ledger::from_checkpoint(cut, full.frontier());
+        let log = crate::durable::DurableLog::create_suffix(
+            &dir,
+            1,
+            crate::durable::DurableLog::DEFAULT_ROLL_BYTES,
+            cut,
+        )
+        .unwrap();
+        suffix.attach_durable(log).unwrap();
+        suffix.append_batch(vec![
+            LedgerEntry::Nonces { seq: SeqNum(2), nonces: vec![Nonce([2; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])),
+        ]);
+        // Page serving reads the mirror at the right relative offsets.
+        let from_disk = suffix.encode_range(LedgerIdx(cut), LedgerIdx(suffix.len()));
+        let from_mem: Vec<Vec<u8>> =
+            suffix.entries().iter().map(|e| e.to_bytes()).collect();
+        assert_eq!(from_disk, from_mem);
+        // Rollback inside the suffix mirrors at relative indices too.
+        suffix.truncate_to(suffix.len() - 1);
+        assert_eq!(suffix.durable().unwrap().entry_count(), 1);
+        let expect = suffix.entries().to_vec();
+        drop(suffix);
+        let (log, reopened) = crate::durable::DurableLog::open(&dir, 1).unwrap();
+        assert_eq!(log.base(), cut, "suffix base survives reopen");
+        assert_eq!(reopened, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A write failure on the consensus hot path must detach the mirror
+    /// and latch the gauge — never panic — and the ledger keeps taking
+    /// appends and rollbacks afterwards.
+    #[test]
+    fn durable_write_failure_detaches_instead_of_panicking() {
+        let dir = std::env::temp_dir()
+            .join(format!("iaccf-store-faulty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut ledger, rk) = ledger4();
+        let (log, _) = crate::durable::DurableLog::open(&dir, 1).unwrap();
+        ledger.attach_durable(log).unwrap();
+        assert!(!ledger.durability_lost());
+
+        ledger.durable_mut().unwrap().inject_write_error();
+        ledger.append(LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] });
+        assert!(ledger.durable().is_none(), "failed append detaches the mirror");
+        assert!(ledger.durability_lost(), "gauge latched");
+        assert_eq!(ledger.len(), 2, "the in-memory append still happened");
+
+        // Consensus-path operations keep working without the mirror.
+        ledger.append_batch(vec![
+            LedgerEntry::Nonces { seq: SeqNum(2), nonces: vec![Nonce([2; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 2, &rk[0])),
+        ]);
+        ledger.truncate_to(2);
+        assert_eq!(ledger.len(), 2);
+        assert!(ledger.durability_lost());
+
+        // Same contract on the batch-append and rollback paths.
+        let (mut l2, rk2) = ledger4();
+        let dir2 = std::env::temp_dir()
+            .join(format!("iaccf-store-faulty2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir2);
+        let (log2, _) = crate::durable::DurableLog::open(&dir2, 1).unwrap();
+        l2.attach_durable(log2).unwrap();
+        l2.durable_mut().unwrap().inject_write_error();
+        l2.append_batch(vec![
+            LedgerEntry::Nonces { seq: SeqNum(1), nonces: vec![Nonce([1; 16])] },
+            LedgerEntry::PrePrepare(test_pp(0, 1, &rk2[0])),
+        ]);
+        assert!(l2.durability_lost() && l2.durable().is_none());
+        assert_eq!(l2.len(), 3);
+
+        let (mut l3, rk3) = ledger4();
+        let dir3 = std::env::temp_dir()
+            .join(format!("iaccf-store-faulty3-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir3);
+        let (log3, _) = crate::durable::DurableLog::open(&dir3, 1).unwrap();
+        l3.attach_durable(log3).unwrap();
+        l3.append(LedgerEntry::PrePrepare(test_pp(0, 1, &rk3[0])));
+        l3.durable_mut().unwrap().inject_write_error();
+        l3.truncate_to(1);
+        assert!(l3.durability_lost() && l3.durable().is_none());
+        assert_eq!(l3.len(), 1, "the in-memory rollback still happened");
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+        let _ = std::fs::remove_dir_all(&dir3);
     }
 }

@@ -90,6 +90,7 @@ impl ClusterSpec {
             params,
             self.client_keys(),
         )
+        .expect("build replica")
     }
 
     /// Restart the replica with rank `rank` from its on-disk ledger.

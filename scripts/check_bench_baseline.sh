@@ -76,6 +76,26 @@ compare sync quick_ref_sync_bytes_per_sec sync_bytes_per_sec
 compare recovery-genesis quick_ref_recovery_genesis_bytes recovery_genesis_bytes
 compare recovery-ckpt quick_ref_recovery_ckpt_bytes recovery_ckpt_bytes
 
+# The durable double-crash leg: after a local restart from the persisted
+# seed (checkpoint file + suffix segments), the second sync moves only
+# the window the replica missed while down.
+compare recovery-seeded-local quick_ref_recovery_seeded_local_bytes recovery_seeded_local_bytes
+
+# The leg's whole point is that the prefix never crosses the network
+# again: zero is not a ratio, so this is a hard equality gate, not a
+# compare line — any nonzero value means the local restart silently
+# re-fetched prefix state.
+prefix=$(extract "$quick_file" recovery_seeded_local_prefix_bytes || true)
+if [[ -z "$prefix" ]]; then
+    echo "::error::bench-baseline[recovery-seeded-prefix]: key 'recovery_seeded_local_prefix_bytes' missing or unparsable in $quick_file"
+    failed=1
+elif [[ "$prefix" != "0" ]]; then
+    echo "::error::bench-baseline[recovery-seeded-prefix]: seeded local restart moved $prefix prefix bytes over the network (must be 0)"
+    failed=1
+else
+    echo "bench-baseline[recovery-seeded-prefix]: prefix bytes = 0 (prefix restored from disk)"
+fi
+
 # Transport path (`--mode c10k` workload; event-driven TCP runtime).
 # Load frames/s absorbed by the cluster, quick configuration.
 compare c10k quick_ref_c10k_frames_per_sec c10k_frames_per_sec

@@ -93,10 +93,13 @@ proptest! {
         let dead = cluster.crash_and_drop(ReplicaId(3)).expect("replica 3 present");
         let log = dead.ledger().durable().expect("durable log attached");
         let (synced, written, tail) = (log.synced_len(), log.written_len(), log.tail_file_path());
+        let completed = log.completed_len();
         drop(dead);
+        // Watermarks are global byte offsets; the tail file starts at
+        // `completed`.
         let cut = synced + (written - synced) * cut_pct / 100;
         let file = std::fs::OpenOptions::new().write(true).open(&tail).expect("tail file");
-        file.set_len(cut).expect("truncate to crash point");
+        file.set_len(cut - completed).expect("truncate to crash point");
         drop(file);
 
         // Survivors commit the in-flight request plus a missed window.
@@ -537,4 +540,253 @@ fn checkpoint_seeded_recovery_moves_o_window_bytes() {
         seeded.bytes,
         control.bytes
     );
+}
+
+// ----------------------------------------------------------------------
+// Double crash: a checkpoint-seeded replica stays durable across its
+// next crash and restarts locally.
+// ----------------------------------------------------------------------
+
+/// The seeded layout's crash-repair contract end to end: replica 3 dies
+/// and loses its disk, a durable replacement takes the checkpoint
+/// fast-path (persisting `checkpoint.cp` plus a suffix segment run),
+/// commits more history, then dies again mid-commit with a torn tail.
+/// The second restart must come back *locally* — seed verified from
+/// disk, suffix tail structurally repaired — and fetch only the batches
+/// past its durable frontier: zero network bytes for the prefix.
+#[test]
+fn double_crashed_seeded_replica_restarts_locally_and_matches_survivor() {
+    let tmp = TempDir::new("double-crash").expect("tempdir");
+    let params = ProtocolParams {
+        fsync_interval_batches: 1,
+        view_timeout_ticks: 80,
+        durable_roll_bytes: 2048, // small: the suffix run spans files
+        ..ProtocolParams::default()
+    };
+    let spec = ClusterSpec::new(4, 2, params).with_config(|c| c.checkpoint_interval = 5);
+    let mut cluster = durable_cluster(&spec, &tmp);
+    for i in 0..30 {
+        let client = spec.clients[i % 2].0;
+        cluster.submit(client, CounterApp::INCR, format!("k{}", i % 4).into_bytes());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(30, 2_000));
+
+    // First crash: the replica dies and its disk dies with it.
+    cluster.crash_and_drop(ReplicaId(3)).expect("replica 3 present");
+    std::fs::remove_dir_all(tmp.path().join("r3")).expect("lose the disk");
+
+    // The durable replacement recovers over the network; the fast-path
+    // must seed it and persist the seeded layout.
+    let mut params3 = spec.params.clone();
+    params3.data_dir = Some(tmp.subdir("r3").expect("subdir"));
+    cluster.recover(spec.build_replica_with(3, Arc::new(CounterApp), params3.clone()), ReplicaId(0));
+    assert!(
+        cluster.run_until(300, |c| c.replica(ReplicaId(3)).sync_report().complete),
+        "first recovery did not complete: {:?}",
+        cluster.replica(ReplicaId(3)).sync_report()
+    );
+    let first = cluster.replica(ReplicaId(3)).sync_report();
+    assert!(first.checkpoint_seed.is_some(), "first recovery must take the fast-path: {first:?}");
+    {
+        let r3 = cluster.replica(ReplicaId(3));
+        let log = r3.ledger().durable().expect("durability re-attached after seeding");
+        assert!(log.base() > 0, "the on-disk run must be a suffix, not full history");
+        assert!(!r3.ledger().durability_lost(), "seeding must not burn the gauge");
+    }
+
+    // More committed history on the seeded suffix, then the second
+    // crash: a request in flight and a torn tail (mid-fsync-window cut).
+    for i in 0..6 {
+        let client = spec.clients[i % 2].0;
+        cluster.submit(client, CounterApp::INCR, format!("m{i}").into_bytes());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(36, 1_000));
+    cluster.submit(spec.clients[0].0, CounterApp::INCR, b"in-flight".to_vec());
+    let dead = cluster.crash_and_drop(ReplicaId(3)).expect("replica 3 present");
+    let log = dead.ledger().durable().expect("durable log attached");
+    let (synced, written, tail) = (log.synced_len(), log.written_len(), log.tail_file_path());
+    let completed = log.completed_len();
+    drop(dead);
+    let cut = synced + (written - synced) / 2;
+    let file = std::fs::OpenOptions::new().write(true).open(&tail).expect("tail file");
+    file.set_len(cut - completed).expect("truncate to crash point");
+    drop(file);
+
+    // Survivors keep going while replica 3 is down.
+    for i in 0..3 {
+        let client = spec.clients[i % 2].0;
+        cluster.submit(client, CounterApp::INCR, format!("p{i}").into_bytes());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(40, 1_000));
+
+    // Second restart: local. The seed file and suffix segments rebuild
+    // the replica to its durable frontier with no network traffic.
+    let restarted =
+        spec.restart_replica(3, Arc::new(CounterApp), params3).expect("seeded local restart");
+    assert!(restarted.ledger().base() > 0, "restarted as a suffix ledger");
+    let durable_tip = restarted.prepared_up_to();
+    assert!(
+        durable_tip >= first.checkpoint_seed.unwrap(),
+        "local restart must reach at least the seed point: {durable_tip:?}"
+    );
+    let genesis_bytes = genesis_transfer_bytes(&cluster, ReplicaId(0));
+    let suffix_bytes: u64 = cluster
+        .replica(ReplicaId(0))
+        .ledger_fetch_oracle(durable_tip.next())
+        .iter()
+        .map(|e| e.len() as u64)
+        .sum();
+
+    cluster.recover(restarted, ReplicaId(0));
+    assert!(
+        cluster.run_until(300, |c| c.replica(ReplicaId(3)).sync_report().complete),
+        "second recovery did not complete: {:?}",
+        cluster.replica(ReplicaId(3)).sync_report()
+    );
+    let report = cluster.replica(ReplicaId(3)).sync_report();
+    assert!(
+        report.checkpoint_seed.is_none(),
+        "the prefix must come from disk, not a second network seed: {report:?}"
+    );
+    assert!(
+        report.bytes <= suffix_bytes,
+        "only the missed suffix crosses the network: moved {} of suffix {suffix_bytes} \
+         (a genesis transfer would be {genesis_bytes})",
+        report.bytes
+    );
+
+    // Rejoin consensus, then demand the suffix is byte-identical to a
+    // never-crashed survivor and durability is attached again.
+    for i in 0..3 {
+        let client = spec.clients[i % 2].0;
+        cluster.submit(client, CounterApp::INCR, b"post".to_vec());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(43, 1_000));
+    let (r3, r1) = (cluster.replica(ReplicaId(3)), cluster.replica(ReplicaId(1)));
+    assert_eq!(r3.ledger().len(), r1.ledger().len(), "global ledger length");
+    for i in r3.ledger().base()..r3.ledger().len() {
+        assert_eq!(
+            r3.ledger().entry(LedgerIdx(i)).map(Wire::to_bytes),
+            r1.ledger().entry(LedgerIdx(i)).map(Wire::to_bytes),
+            "suffix divergence at entry {i}"
+        );
+    }
+    assert_eq!(r3.kv().digest(), r1.kv().digest(), "KV digest");
+    let log = r3.ledger().durable().expect("durable again after the second restart");
+    assert!(log.base() > 0, "still the suffix layout");
+    cluster.assert_ledgers_consistent();
+}
+
+// ----------------------------------------------------------------------
+// A fresh replica must not silently destroy an occupied data dir.
+// ----------------------------------------------------------------------
+
+/// `Replica::new` used to claim a `data_dir` holding a previous
+/// instance's segment files and silently reconcile that history down to
+/// genesis — destroying it. Pin the fix: occupied directories are a
+/// typed refusal, `restart_from_dir` remains the restart path, and the
+/// explicit `wipe_existing_data_dir` opt-in claims the directory fresh.
+#[test]
+fn fresh_replica_refuses_occupied_data_dir_unless_wipe_opted_in() {
+    use ia_ccf::core::ReplicaInitError;
+    let tmp = TempDir::new("occupied-dir").expect("tempdir");
+    let dir = tmp.subdir("r0").expect("subdir");
+    let spec = ClusterSpec::new(4, 2, durable_params(1));
+    let mut cluster = DetCluster::with_replica_builder(&spec, |rank| {
+        let mut p = spec.params.clone();
+        if rank == 0 {
+            p.data_dir = Some(dir.clone());
+        }
+        spec.build_replica_with(rank, Arc::new(CounterApp), p)
+    });
+    for i in 0..2 {
+        let client = spec.clients[i % 2].0;
+        cluster.submit(client, CounterApp::INCR, format!("k{i}").into_bytes());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(2, 400));
+    let dead = cluster.crash_and_drop(ReplicaId(0)).expect("replica 0 present");
+    let history_len = dead.ledger().len();
+    assert!(history_len > 1, "real history on disk");
+    drop(dead);
+
+    let mut params0 = spec.params.clone();
+    params0.data_dir = Some(dir.clone());
+    let fresh = Replica::new(
+        ReplicaId(0),
+        spec.replica_keys[0].clone(),
+        spec.genesis.clone(),
+        Arc::new(CounterApp),
+        params0.clone(),
+        spec.client_keys(),
+    );
+    assert!(
+        matches!(fresh, Err(ReplicaInitError::DataDirNotEmpty(ref d)) if *d == dir),
+        "occupied directory must be a typed refusal"
+    );
+
+    // The legitimate restart path still works and keeps the history.
+    let restarted =
+        spec.restart_replica(0, Arc::new(CounterApp), params0.clone()).expect("restart");
+    assert!(restarted.ledger().len() > 1, "history survived the refusal");
+    drop(restarted);
+
+    // The opt-in wipes and claims the directory for a fresh genesis.
+    params0.wipe_existing_data_dir = true;
+    let fresh = Replica::new(
+        ReplicaId(0),
+        spec.replica_keys[0].clone(),
+        spec.genesis.clone(),
+        Arc::new(CounterApp),
+        params0,
+        spec.client_keys(),
+    )
+    .expect("wipe opt-in claims the directory");
+    assert_eq!(fresh.ledger().len(), 1, "genesis only after the wipe");
+    assert!(fresh.ledger().durable().is_some(), "durability attached on the wiped dir");
+}
+
+// ----------------------------------------------------------------------
+// Durable I/O failure on the consensus hot path: detach, don't die.
+// ----------------------------------------------------------------------
+
+/// A durable write failure mid-consensus used to panic the replica via
+/// `.expect` on the append path. Now it detaches the mirror with a
+/// one-shot warning, latches the `durability_lost` gauge and keeps
+/// committing — safety rests on the quorum, not this replica's disk.
+#[test]
+fn durable_write_failure_mid_consensus_detaches_but_keeps_committing() {
+    let tmp = TempDir::new("durable-fault").expect("tempdir");
+    let spec = ClusterSpec::new(4, 2, durable_params(1));
+    let mut cluster = durable_cluster(&spec, &tmp);
+    for i in 0..2 {
+        let client = spec.clients[i % 2].0;
+        cluster.submit(client, CounterApp::INCR, format!("k{i}").into_bytes());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(2, 400));
+
+    // Arm a one-shot write failure on replica 2's next durable append.
+    {
+        let r2 = &mut cluster.replicas.get_mut(&ReplicaId(2)).expect("replica 2").inner;
+        assert!(!r2.ledger().durability_lost());
+        r2.ledger_harness_mut().durable_mut().expect("attached").inject_write_error();
+    }
+
+    // Consensus continues across the failure — including replica 2.
+    for i in 0..4 {
+        let client = spec.clients[i % 2].0;
+        cluster.submit(client, CounterApp::INCR, format!("m{i}").into_bytes());
+        cluster.round();
+    }
+    assert!(cluster.run_until_finished(6, 1_000), "consensus must survive the disk failure");
+    let r2 = cluster.replica(ReplicaId(2));
+    assert!(r2.ledger().durability_lost(), "the gauge must latch");
+    assert!(r2.ledger().durable().is_none(), "the mirror must detach");
+    assert_ledgers_byte_identical(&cluster, ReplicaId(2), ReplicaId(1));
+    cluster.assert_ledgers_consistent();
 }

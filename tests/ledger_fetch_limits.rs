@@ -159,7 +159,8 @@ fn oversized_ledger_suffix_transfers_fully_via_pages() {
         Arc::new(BlobApp { size: BLOB }),
         params,
         spec.client_keys(),
-    );
+    )
+    .expect("fresh replica");
     let mut inbox: Vec<ProtocolMsg> = fresh
         .begin_ledger_sync(ReplicaId(0))
         .into_iter()
